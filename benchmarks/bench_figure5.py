@@ -1,0 +1,50 @@
+"""Figure 5: SAGA accuracy per garbage estimator (oracle, CGS/CB, FGS/HB)."""
+
+import pytest
+
+from repro.experiments.figure5 import format_figure5, run_figure5
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5(benchmark, publish):
+    result = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+    publish("figure5", format_figure5(result))
+
+    oracle = result.sweeps["oracle"]
+    cgs_cb = result.sweeps["cgs-cb"]
+    fgs_hb = result.sweeps["fgs-hb"]
+
+    # "The SAGA policy using the oracle is extremely accurate."
+    for point in oracle:
+        assert point.mean == pytest.approx(point.requested, abs=0.015)
+
+    # "The CGS/CB heuristic is quite poor at achieving the requested
+    # garbage percentage" — and insensitive to the request: the achieved
+    # values barely move across the sweep.
+    cgs_means = [p.mean for p in cgs_cb]
+    assert max(cgs_means) - min(cgs_means) < 0.5 * (
+        cgs_cb[-1].requested - cgs_cb[0].requested
+    ) + 0.05
+    cgs_total_error = sum(abs(p.error) for p in cgs_cb)
+
+    # "The FGS/HB policy is much better" — with a small systematic
+    # overshoot (the "bump").
+    fgs_total_error = sum(abs(p.error) for p in fgs_hb)
+    assert fgs_total_error < cgs_total_error
+    fgs_means = [p.mean for p in fgs_hb]
+    assert fgs_means == sorted(fgs_means)  # tracks the request
+    for point in fgs_hb:
+        assert point.error >= -0.02  # overshoot, not undershoot
+        assert point.error <= 0.10
+
+    # "The error bars, especially for the FGS/HB heuristic, are very
+    # narrow. The CGS/CB heuristic shows larger error bars."
+    fgs_spread = max(p.maximum - p.minimum for p in fgs_hb)
+    cgs_spread = max(p.maximum - p.minimum for p in cgs_cb)
+    assert fgs_spread < cgs_spread
+
+    # Quality ordering: oracle beats FGS/HB at every requested level (CGS/CB
+    # is compared on total error above — its flat curve inevitably crosses
+    # the diagonal at one point).
+    for o, f in zip(oracle, fgs_hb):
+        assert abs(o.error) <= abs(f.error) + 0.01

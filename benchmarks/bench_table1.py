@@ -1,0 +1,31 @@
+"""Table 1: OO7 database parameters, verified on generated databases."""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1(benchmark, publish):
+    result = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    publish("table1", format_table1(result))
+
+    # Structural checks against Table 1 and §3.3's quoted properties.
+    assert result.small_prime.num_comp_per_module == 150
+    assert result.small.num_comp_per_module == 500
+    assert result.small_prime.num_assm_levels == 6
+    assert result.small.num_assm_levels == 7
+
+    by_conn = {g.connectivity: g for g in result.generated}
+    # Object population grows with connectivity (one connection object per
+    # extra NumConnPerAtomic per part).
+    assert by_conn[3].objects < by_conn[6].objects < by_conn[9].objects
+    assert by_conn[9].objects - by_conn[3].objects == 2 * 3000 * 3
+    # Database size roughly doubles from connectivity 3 to 9 (paper: 3.7 MB
+    # to 7.9 MB; absolute sizes differ — see DESIGN.md substitutions).
+    ratio = by_conn[9].db_bytes / by_conn[3].db_bytes
+    assert 1.7 <= ratio <= 2.6
+    # "Each object has four pointers pointing to it" at connectivity 3:
+    # in-degree of an atomic part is NumConnPerAtomic + 1.
+    assert by_conn[3].part_in_degree == pytest.approx(4.0, abs=0.01)
+    assert by_conn[9].part_in_degree == pytest.approx(10.0, abs=0.01)

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures, writes the
+formatted report under ``results/``, prints it (visible with ``pytest -s``),
+and asserts the paper's qualitative claims about that experiment.
+
+Benchmarks default to the quick scale (3 seeds, reduced grids); set
+``REPRO_FULL=1`` for the paper-scale grids recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Write a report under results/ and echo it to stdout."""
+
+    def _publish(name: str, report: str) -> None:
+        (results_dir / f"{name}.txt").write_text(report + "\n")
+        print(f"\n{report}\n")
+
+    return _publish

@@ -1,0 +1,142 @@
+"""Self-adaptation on a synthetic workload with hostile phase changes.
+
+The paper argues a collection-rate policy must be *self-adaptive* —
+responsive and accurate under changing application behaviour. This example
+builds a synthetic application whose phases differ wildly in garbage
+creation (a heavy churn burst, a read-mostly lull, a trim-heavy phase, and
+a quiescent stretch) and shows
+
+* how SAGA/FGS-HB adapts its collection rate across the phases, and
+* how the §5 opportunism extension exploits the quiescent phase to collect
+  beyond the user-stated limits.
+
+Run with::
+
+    python examples/adaptive_workload.py
+"""
+
+from repro import (
+    FgsHbEstimator,
+    OpportunisticPolicy,
+    OracleEstimator,
+    SagaPolicy,
+    Simulation,
+    SimulationConfig,
+    StoreConfig,
+    SyntheticPhase,
+    SyntheticWorkload,
+)
+from repro.sim.report import format_table, sparkline
+
+STORE = StoreConfig(page_size=2048, partition_pages=8, buffer_pages=8)
+
+PHASES = [
+    SyntheticPhase(
+        name="churn-burst",
+        operations=2500,
+        create_weight=1.0,
+        delete_weight=1.0,
+        access_weight=1.0,
+        cluster_size=8,
+        object_size=128,
+    ),
+    SyntheticPhase(
+        name="read-mostly",
+        operations=2000,
+        create_weight=0.05,
+        delete_weight=0.05,
+        access_weight=4.0,
+        cluster_size=8,
+        object_size=128,
+    ),
+    SyntheticPhase(
+        name="trim-heavy",
+        operations=1500,
+        create_weight=1.0,
+        delete_weight=0.2,
+        trim_weight=2.0,
+        access_weight=1.0,
+        cluster_size=12,
+        object_size=96,
+    ),
+    SyntheticPhase(
+        name="quiescent",
+        operations=800,
+        create_weight=0.0,
+        delete_weight=0.0,
+        access_weight=0.2,
+        idle_weight=4.0,
+    ),
+]
+
+
+def build_policy(opportunistic: bool):
+    saga = SagaPolicy(
+        garbage_fraction=0.12,
+        estimator=FgsHbEstimator(history=0.8),
+        initial_interval=25,
+    )
+    if not opportunistic:
+        return saga
+    return OpportunisticPolicy(
+        saga,
+        estimator=OracleEstimator(),
+        idle_threshold=10,
+        min_garbage_bytes=4096,
+    )
+
+
+def run(opportunistic: bool):
+    workload = SyntheticWorkload(PHASES, seed=11, initial_clusters=150)
+    simulation = Simulation(
+        policy=build_policy(opportunistic),
+        config=SimulationConfig(store=STORE, preamble_collections=5),
+    )
+    return simulation.run(workload.events())
+
+
+def main() -> None:
+    plain = run(opportunistic=False)
+    opportunistic = run(opportunistic=True)
+
+    rows = []
+    for label, result in (("SAGA", plain), ("SAGA + opportunism", opportunistic)):
+        summary = result.summary
+        extra = getattr(result.policy, "opportunistic_collections", 0)
+        rows.append(
+            [
+                label,
+                summary.collections,
+                extra,
+                f"{summary.garbage_fraction_mean:.2%}",
+                f"{summary.final_garbage_fraction:.2%}",
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "collections", "opportunistic", "mean garbage", "final garbage"],
+            rows,
+            title="Adapting to phase changes (12% garbage target)",
+        )
+    )
+
+    # Collection rate per phase: how the policy's interval adapts.
+    print("\nCollections per phase (plain SAGA):")
+    per_phase: dict[str, int] = {}
+    for record in plain.collections:
+        per_phase[record.phase] = per_phase.get(record.phase, 0) + 1
+    for phase in PHASES:
+        print(f"  {phase.name:>12s}: {per_phase.get(phase.name, 0)} collections")
+
+    trail = [r.actual_garbage_fraction for r in plain.collections]
+    if trail:
+        print(f"\ngarbage over time:  {sparkline(trail)}")
+    print(
+        "\nDuring the quiescent stretch the plain policy cannot run (no"
+        "\noverwrites advance its clock), while the opportunistic wrapper"
+        "\nkeeps collecting and ends with less garbage in the database."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Compare collection-rate policies on the OO7 workload.
+
+Reproduces the paper's motivating observation (Figure 1 and §2.1): fixed
+rates trade I/O against garbage and no single rate wins, the "clever"
+partition-size heuristic fails, and the adaptive policies hit whatever
+target the user actually cares about.
+
+Run with::
+
+    python examples/compare_policies.py
+"""
+
+from repro import (
+    FixedRatePolicy,
+    Oo7Application,
+    OracleEstimator,
+    PartitionHeuristicPolicy,
+    SagaPolicy,
+    SaioPolicy,
+    Simulation,
+    SimulationConfig,
+    SMALL_PRIME,
+    StoreConfig,
+)
+from repro.sim.report import format_table
+
+
+def run_policy(policy, seed=7):
+    application = Oo7Application(SMALL_PRIME, seed=seed)
+    simulation = Simulation(
+        policy=policy, config=SimulationConfig(preamble_collections=2)
+    )
+    return simulation.run(application.events()).summary
+
+
+def main() -> None:
+    store = StoreConfig()
+    policies = [
+        ("fixed, eager (50 ow)", FixedRatePolicy(50)),
+        ("fixed, sparse (800 ow)", FixedRatePolicy(800)),
+        (
+            "§2.1 heuristic",
+            PartitionHeuristicPolicy(
+                partition_size=store.partition_size,
+                avg_connectivity=4.0,
+                avg_object_size=170.0,
+            ),
+        ),
+        ("SAIO @ 10% I/O", SaioPolicy(io_fraction=0.10)),
+        ("SAGA @ 10% garbage", SagaPolicy(garbage_fraction=0.10, estimator=OracleEstimator())),
+    ]
+
+    rows = []
+    for name, policy in policies:
+        summary = run_policy(policy)
+        total_io = summary.app_io_total + summary.gc_io_total
+        rows.append(
+            [
+                name,
+                summary.collections,
+                f"{total_io:,}",
+                f"{summary.gc_io_fraction:.1%}",
+                f"{summary.garbage_fraction_mean:.1%}",
+                f"{summary.total_reclaimed_bytes / 1024:.0f} KB",
+            ]
+        )
+
+    print(
+        format_table(
+            ["policy", "collections", "total I/O", "GC I/O share", "mean garbage", "reclaimed"],
+            rows,
+            title="Collection-rate policies on OO7 Small' (one seed)",
+        )
+    )
+    print(
+        "\nReading the table: the eager fixed rate wastes I/O; the sparse one"
+        "\nstrands garbage; the §2.1 heuristic collects far too rarely; SAIO"
+        "\nand SAGA each hit exactly the dimension their user asked about."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""The §5 future-work direction: coupling SAIO with SAGA's estimates.
+
+"The SAIO policy could use information provided by the SAGA heuristics to
+determine the cost-effectiveness of the I/O operations being performed,
+and adjusting itself accordingly."
+
+This example compares plain SAIO against the coupled policy on a workload
+with a long garbage-free stretch: plain SAIO keeps burning its I/O budget
+on empty collections, while the coupled policy stretches its interval when
+the estimated garbage level says collections are not cost-effective.
+
+Run with::
+
+    python examples/coupled_policy.py
+"""
+
+from repro import (
+    CoupledSaioSagaPolicy,
+    FgsHbEstimator,
+    SaioPolicy,
+    Simulation,
+    SimulationConfig,
+    StoreConfig,
+    SyntheticPhase,
+    SyntheticWorkload,
+)
+from repro.sim.report import format_table
+
+STORE = StoreConfig(page_size=2048, partition_pages=8, buffer_pages=8)
+
+PHASES = [
+    # Garbage-rich churn: collections are worth their I/O.
+    SyntheticPhase(
+        name="churn",
+        operations=2000,
+        create_weight=1.0,
+        delete_weight=1.0,
+        access_weight=1.0,
+        cluster_size=8,
+        object_size=128,
+    ),
+    # Read-only stretch: plenty of I/O, zero garbage creation.
+    SyntheticPhase(
+        name="read-only",
+        operations=4000,
+        create_weight=0.0,
+        delete_weight=0.0,
+        access_weight=1.0,
+    ),
+    # Churn again.
+    SyntheticPhase(
+        name="churn-2",
+        operations=2000,
+        create_weight=1.0,
+        delete_weight=1.0,
+        access_weight=1.0,
+        cluster_size=8,
+        object_size=128,
+    ),
+]
+
+
+def run(policy):
+    workload = SyntheticWorkload(PHASES, seed=5, initial_clusters=150)
+    simulation = Simulation(
+        policy=policy, config=SimulationConfig(store=STORE, preamble_collections=2)
+    )
+    return simulation.run(workload.events())
+
+
+def main() -> None:
+    plain = run(SaioPolicy(io_fraction=0.15, initial_interval=100))
+    coupled = run(
+        CoupledSaioSagaPolicy(
+            io_fraction=0.15,
+            garbage_fraction=0.10,
+            estimator=FgsHbEstimator(history=0.8),
+            max_scale=4.0,
+            initial_interval=100,
+        )
+    )
+
+    rows = []
+    for label, result in (("SAIO", plain), ("SAIO × SAGA (coupled)", coupled)):
+        summary = result.summary
+        empties = sum(1 for r in result.collections if r.reclaimed_bytes == 0)
+        reclaimed = summary.total_reclaimed_bytes
+        cost = summary.gc_io_total
+        rows.append(
+            [
+                label,
+                summary.collections,
+                empties,
+                f"{summary.gc_io_fraction:.2%}",
+                f"{reclaimed / 1024:.0f} KB",
+                f"{reclaimed / max(1, cost):,.0f} B/IO",
+            ]
+        )
+    print(
+        format_table(
+            ["policy", "collections", "empty collections", "GC I/O share",
+             "reclaimed", "yield per GC I/O"],
+            rows,
+            title="Coupling SAIO with garbage estimates (15% I/O budget)",
+        )
+    )
+    print(
+        "\nThe coupled policy trades a little of its I/O budget for much"
+        "\nbetter cost-effectiveness: it skips collections while the"
+        "\nestimated garbage level is far below target (the read-only"
+        "\nstretch) and tightens up again when churn resumes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Transactions, aborts, and garbage collection living together.
+
+The paper's simulation assumes the simplest concurrency model — the whole
+database is locked during a collection (§3.2) — and defers real mechanisms
+to other work. This example shows the repository's transactional layer
+doing the next-step version of that model:
+
+* application work grouped into transactions, a fraction of which abort;
+* aborts physically undone — objects whose deaths roll back are
+  resurrected, objects whose creations roll back vanish — with the
+  policies' garbage-creation signals (overwrite clock, FGS counters)
+  restored as if the transaction never ran;
+* garbage collection deferred to transaction boundaries, where the SAGA
+  policy keeps tracking its target as usual.
+
+Run with::
+
+    python examples/transactions.py
+"""
+
+from repro import (
+    OracleEstimator,
+    SagaPolicy,
+    Simulation,
+    SimulationConfig,
+    StoreConfig,
+    TransactionalSpec,
+    TransactionalWorkload,
+)
+from repro.sim.report import format_table
+from repro.storage.validation import validate_store
+
+STORE = StoreConfig(page_size=2048, partition_pages=8, buffer_pages=8)
+
+
+def run(abort_probability: float):
+    spec = TransactionalSpec(
+        transactions=250,
+        ops_per_transaction=4,
+        abort_probability=abort_probability,
+        cluster_size=6,
+        object_size=120,
+    )
+    workload = TransactionalWorkload(spec, seed=9, initial_clusters=120)
+    simulation = Simulation(
+        policy=SagaPolicy(
+            garbage_fraction=0.12, estimator=OracleEstimator(), initial_interval=20
+        ),
+        config=SimulationConfig(store=STORE, preamble_collections=5),
+    )
+    result = simulation.run(workload.events())
+    return workload, result
+
+
+def main() -> None:
+    rows = []
+    for abort_probability in (0.0, 0.25, 0.5):
+        workload, result = run(abort_probability)
+        summary = result.summary
+        store = result.store
+        report = validate_store(store, strict=False)
+        rows.append(
+            [
+                f"{abort_probability:.0%}",
+                workload.committed_transactions,
+                workload.aborted_transactions,
+                summary.collections,
+                f"{summary.garbage_fraction_mean:.2%}",
+                f"{store.pointer_overwrites:,}",
+                "ok" if report.ok and store.check_death_annotations() == set() else "BROKEN",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "abort rate",
+                "committed",
+                "aborted",
+                "collections",
+                "mean garbage",
+                "overwrite clock",
+                "store integrity",
+            ],
+            rows,
+            title="SAGA @ 12% garbage under transactional churn with aborts",
+        )
+    )
+    print(
+        "\nAborted transactions leave no trace: the overwrite clock counts"
+        "\nonly committed work, resurrected objects never appear in the"
+        "\ngarbage accounting, and SAGA keeps hitting its target. Collection"
+        "\nnever runs inside a transaction — the paper's whole-database-lock"
+        "\nmodel, enforced at transaction granularity."
+    )
+
+
+if __name__ == "__main__":
+    main()

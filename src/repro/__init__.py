@@ -1,0 +1,132 @@
+"""repro — reproduction of Cook, Klauser, Zorn & Wolf (SIGMOD 1996).
+
+*Semi-automatic, Self-adaptive Control of Garbage Collection Rates in Object
+Databases.*
+
+The package provides:
+
+* an object-database storage simulator (partitioned heap, LRU buffer pool,
+  partitioned copying garbage collector, OO7 benchmark workloads), and
+* the paper's contribution: the **SAIO** and **SAGA** self-adaptive
+  collection-rate policies with their garbage-estimation heuristics.
+
+Quickstart::
+
+    from repro import Oo7Application, SaioPolicy, Simulation, TINY
+
+    app = Oo7Application(TINY, seed=1)
+    sim = Simulation(policy=SaioPolicy(io_fraction=0.10))
+    result = sim.run(app.events())
+    print(result.summary.gc_io_fraction)  # ≈ 0.10
+"""
+
+from repro.core import (
+    AllocationRatePolicy,
+    CgsCbEstimator,
+    CgsHbEstimator,
+    CoupledSaioSagaPolicy,
+    DecayingOracleBlend,
+    FgsCbEstimator,
+    FgsHbEstimator,
+    FixedRatePolicy,
+    GarbageEstimator,
+    OpportunisticPolicy,
+    OracleEstimator,
+    PartitionHeuristicPolicy,
+    RatePolicy,
+    SagaPolicy,
+    SaioPolicy,
+    TimeBase,
+    Trigger,
+    make_estimator,
+)
+from repro.gc import (
+    CollectionResult,
+    CopyingCollector,
+    MostGarbageOracleSelection,
+    PartitionSelectionPolicy,
+    RandomSelection,
+    RoundRobinSelection,
+    UpdatedPointerSelection,
+    make_selection_policy,
+)
+from repro.oo7 import SMALL, SMALL_PRIME, TINY, OO7Config, Oo7Graph, build_database
+from repro.sim import (
+    AggregateResult,
+    AggregateStat,
+    Simulation,
+    SimulationConfig,
+    SimulationResult,
+    SimulationSummary,
+    run_one,
+    run_seeds,
+)
+from repro.storage import IOCategory, IOStats, ObjectKind, ObjectStore, StoreConfig
+from repro.tx import Transaction, TransactionError, TransactionManager
+from repro.workload import (
+    Oo7Application,
+    SyntheticPhase,
+    SyntheticWorkload,
+    TransactionalSpec,
+    TransactionalWorkload,
+    trace_stats,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateResult",
+    "AllocationRatePolicy",
+    "AggregateStat",
+    "CgsCbEstimator",
+    "CgsHbEstimator",
+    "CollectionResult",
+    "CopyingCollector",
+    "CoupledSaioSagaPolicy",
+    "DecayingOracleBlend",
+    "FgsCbEstimator",
+    "FgsHbEstimator",
+    "FixedRatePolicy",
+    "GarbageEstimator",
+    "IOCategory",
+    "IOStats",
+    "MostGarbageOracleSelection",
+    "ObjectKind",
+    "ObjectStore",
+    "OO7Config",
+    "Oo7Application",
+    "Oo7Graph",
+    "OpportunisticPolicy",
+    "OracleEstimator",
+    "PartitionHeuristicPolicy",
+    "PartitionSelectionPolicy",
+    "RandomSelection",
+    "RatePolicy",
+    "RoundRobinSelection",
+    "SMALL",
+    "SMALL_PRIME",
+    "SagaPolicy",
+    "SaioPolicy",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SimulationSummary",
+    "StoreConfig",
+    "SyntheticPhase",
+    "SyntheticWorkload",
+    "TINY",
+    "TimeBase",
+    "Transaction",
+    "TransactionError",
+    "TransactionManager",
+    "TransactionalSpec",
+    "TransactionalWorkload",
+    "Trigger",
+    "UpdatedPointerSelection",
+    "build_database",
+    "make_estimator",
+    "make_selection_policy",
+    "run_one",
+    "run_seeds",
+    "trace_stats",
+]

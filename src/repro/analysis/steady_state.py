@@ -1,0 +1,124 @@
+"""Closed-form steady-state models of collection-rate behaviour.
+
+These back-of-the-envelope models predict what the simulator measures, and
+are validated against it in the test suite. They make the assumptions
+explicit so the simulator's deviations are interpretable:
+
+* Garbage is created at a constant rate of ``gpo`` bytes per pointer
+  overwrite (the workload constant of §2.1 — about 140 B/overwrite for our
+  OO7 instance).
+* A partitioned collection reclaims only the victim partition's garbage. In
+  equilibrium each collection must reclaim what accumulated since the last
+  one, so the standing garbage pool adjusts until the *selected* victim
+  holds that much.
+* The selection policy finds a victim holding ``selection_skew`` times the
+  per-partition average garbage (UPDATEDPOINTER hunts above-average
+  victims, so its skew is > 1; random selection has skew ≈ 1).
+
+The models are intentionally simple — factor-of-two agreement with the
+simulator is the goal, not decimal places.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default selection skew for UPDATEDPOINTER (measured on OO7 Small').
+DEFAULT_SELECTION_SKEW = 2.0
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """The constants a steady-state prediction needs.
+
+    Attributes:
+        garbage_per_overwrite: Bytes of garbage created per pointer
+            overwrite (``gpo``).
+        db_size: Database size in bytes (the percentage denominator).
+        partitions: Number of allocated partitions.
+        selection_skew: Victim garbage relative to the per-partition mean.
+    """
+
+    garbage_per_overwrite: float
+    db_size: float
+    partitions: int
+    selection_skew: float = DEFAULT_SELECTION_SKEW
+
+    def __post_init__(self) -> None:
+        if self.garbage_per_overwrite < 0:
+            raise ValueError("garbage_per_overwrite must be non-negative")
+        if self.db_size <= 0:
+            raise ValueError("db_size must be positive")
+        if self.partitions <= 0:
+            raise ValueError("partitions must be positive")
+        if self.selection_skew <= 0:
+            raise ValueError("selection_skew must be positive")
+
+
+def fixed_rate_yield(model: WorkloadModel, rate: float) -> float:
+    """Equilibrium bytes reclaimed per collection at a fixed rate.
+
+    In steady state a collection must reclaim what one interval creates:
+    ``rate × gpo``.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return rate * model.garbage_per_overwrite
+
+
+def fixed_rate_garbage_fraction(model: WorkloadModel, rate: float) -> float:
+    """Equilibrium mean garbage fraction under a fixed collection rate.
+
+    The victim must hold one interval's garbage, the victim holds
+    ``skew / partitions`` of the pool, so the pool is
+    ``rate × gpo × partitions / skew`` — plus half an interval's production
+    for the sawtooth mean.
+    """
+    pool = fixed_rate_yield(model, rate) * model.partitions / model.selection_skew
+    sawtooth = fixed_rate_yield(model, rate) / 2.0
+    return min(1.0, (pool + sawtooth) / model.db_size)
+
+
+def saga_interval(model: WorkloadModel, mean_yield: float) -> float:
+    """Equilibrium SAGA interval: replace what a collection reclaims.
+
+    At the target level SAGA waits exactly until ``CurrColl`` new garbage
+    exists: ``Δt = CurrColl / gpo`` (§2.3 with ``GarbDiff = 0``).
+    """
+    if mean_yield < 0:
+        raise ValueError("mean_yield must be non-negative")
+    if model.garbage_per_overwrite == 0:
+        return float("inf")
+    return mean_yield / model.garbage_per_overwrite
+
+
+def saga_sawtooth_mean(target_fraction: float, mean_yield: float, db_size: float) -> float:
+    """Expected event-sampled mean garbage fraction under SAGA.
+
+    SAGA drives garbage down to the target right after each collection and
+    lets it climb by one yield before the next, so the sampled mean sits
+    half a yield above the target.
+    """
+    if not 0.0 < target_fraction < 1.0:
+        raise ValueError("target_fraction must be in (0, 1)")
+    return target_fraction + (mean_yield / 2.0) / db_size
+
+
+def saio_interval(gc_io_per_collection: float, io_fraction: float) -> float:
+    """Equilibrium SAIO interval (§2.2 with no history).
+
+    ``ΔAppIO = GCIO × (1 - f) / f`` — the application I/O that makes one
+    collection's I/O exactly an ``f`` share.
+    """
+    if gc_io_per_collection <= 0:
+        raise ValueError("gc_io_per_collection must be positive")
+    if not 0.0 < io_fraction < 1.0:
+        raise ValueError("io_fraction must be in (0, 1)")
+    return gc_io_per_collection * (1.0 - io_fraction) / io_fraction
+
+
+def expected_collections(total_overwrites: float, rate: float) -> float:
+    """Collections a fixed-rate policy performs over a run."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    return total_overwrites / rate

@@ -1,0 +1,211 @@
+"""Command-line experiment runner: ``python -m repro`` / ``repro-experiments``.
+
+Examples::
+
+    repro-experiments list
+    repro-experiments figure4
+    repro-experiments figure5 --seeds 0 1 2 3 --out results/figure5.txt
+    repro-experiments all --out-dir results/
+    REPRO_FULL=1 repro-experiments figure8
+
+Each experiment prints the same tables/plots the benchmark harness writes
+into ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.experiments import (
+    format_figure1,
+    format_figure4,
+    format_figure5,
+    format_figure6,
+    format_figure7,
+    format_figure8,
+    format_table1,
+    run_figure1,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_clock_ablation,
+    run_fixed_heuristic_ablation,
+    run_saio_history_ablation,
+    run_selection_ablation,
+    run_table1,
+    run_weight_ablation,
+)
+from repro.experiments import (
+    format_clustering_experiment,
+    format_estimator_space,
+    run_clustering_experiment,
+    run_estimator_space,
+)
+from repro.experiments.ablations import (
+    format_clock_ablation,
+    format_fixed_heuristic,
+    format_saio_history,
+    format_selection_ablation,
+    format_weight_ablation,
+)
+
+
+def _figure1(seeds):
+    return format_figure1(run_figure1(seeds=seeds))
+
+
+def _table1(seeds):
+    return format_table1(run_table1())
+
+
+def _figure4(seeds):
+    return format_figure4(run_figure4(seeds=seeds))
+
+
+def _figure5(seeds):
+    return format_figure5(run_figure5(seeds=seeds))
+
+
+def _figure6(seeds):
+    seed = seeds[0] if seeds else 0
+    return format_figure6(run_figure6(seed=seed))
+
+
+def _figure7(seeds):
+    seed = seeds[0] if seeds else 0
+    return format_figure7(run_figure7(seed=seed))
+
+
+def _figure8(seeds):
+    return format_figure8(run_figure8(seeds=seeds))
+
+
+def _ablation_clustering(seeds):
+    return format_clustering_experiment(run_clustering_experiment(seeds=seeds))
+
+
+def _ablation_estimators(seeds):
+    return format_estimator_space(run_estimator_space(seeds=seeds))
+
+
+def _describe(seeds):
+    from repro.oo7 import SMALL_PRIME, describe_phases, describe_structure
+
+    return "\n\n".join([describe_phases(), describe_structure(SMALL_PRIME)])
+
+
+def _ablation_clock(seeds):
+    return format_clock_ablation(run_clock_ablation(seeds=seeds))
+
+
+def _ablation_fixed(seeds):
+    return format_fixed_heuristic(run_fixed_heuristic_ablation(seeds=seeds))
+
+
+def _ablation_history(seeds):
+    return format_saio_history(run_saio_history_ablation(seeds=seeds))
+
+
+def _ablation_selection(seeds):
+    return format_selection_ablation(run_selection_ablation(seeds=seeds))
+
+
+def _ablation_weight(seeds):
+    return format_weight_ablation(run_weight_ablation(seeds=seeds))
+
+
+EXPERIMENTS: dict[str, tuple[Callable[[Optional[list[int]]], str], str]] = {
+    "table1": (_table1, "OO7 database parameters and generated-database verification"),
+    "figure1": (_figure1, "fixed collection rate vs I/O and garbage collected"),
+    "figure4": (_figure4, "SAIO accuracy sweep"),
+    "figure5": (_figure5, "SAGA accuracy sweep per estimator"),
+    "figure6": (_figure6, "time-varying garbage estimation (CGS/CB, FGS/HB)"),
+    "figure7": (_figure7, "FGS/HB history parameter study + rate/yield traces"),
+    "figure8": (_figure8, "connectivity sensitivity (6 and 9)"),
+    "describe": (_describe, "Figures 2 and 3: phases and database structure"),
+    "ablation-clock": (_ablation_clock, "§2 overwrite clock vs allocation clock"),
+    "ablation-clustering": (_ablation_clustering, "§3.4 reclustering behaviour of the reorganisations"),
+    "ablation-estimators": (_ablation_estimators, "§2.4 full 2x2 estimator design space"),
+    "ablation-fixed": (_ablation_fixed, "§2.1 partition-heuristic fixed rate failure"),
+    "ablation-history": (_ablation_history, "§4.1.1 SAIO history parameter"),
+    "ablation-selection": (_ablation_selection, "§4.1.2 CGS/CB vs selection policy"),
+    "ablation-weight": (_ablation_weight, "§2.3 SAGA slope Weight"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of Cook, Klauser, Zorn & Wolf "
+            "(SIGMOD 1996). Set REPRO_FULL=1 for paper-scale grids."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        help="experiment to run, 'all' for every one, or 'list' to enumerate",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        nargs="+",
+        default=None,
+        help="explicit seed list (default: 3 seeds, or 10 with REPRO_FULL=1)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=None,
+        help="with 'all': write one report file per experiment here",
+    )
+    return parser
+
+
+def _run_named(name: str, seeds: Optional[list[int]]) -> str:
+    runner, _description = EXPERIMENTS[name]
+    started = time.time()
+    report = runner(seeds)
+    elapsed = time.time() - started
+    return f"{report}\n\n[{name} completed in {elapsed:.1f}s]\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print(f"{name.ljust(width)}  {EXPERIMENTS[name][1]}")
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        report = _run_named(name, args.seeds)
+        print(report)
+        target = None
+        if args.out_dir is not None:
+            args.out_dir.mkdir(parents=True, exist_ok=True)
+            target = args.out_dir / f"{name}.txt"
+        elif args.out is not None:
+            target = args.out
+        if target is not None:
+            target.write_text(report)
+            print(f"[written to {target}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    raise SystemExit(main())

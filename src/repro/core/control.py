@@ -1,0 +1,111 @@
+"""Small control-theory building blocks shared by the rate policies.
+
+The paper's policies (§2.2–2.4) are feedback controllers built from two
+primitives: exponentially weighted means (used to smooth noisy behaviour
+samples) and a smoothed finite-difference slope estimator (used by SAGA to
+predict the garbage-generation rate ``TotGarb'(t)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` to the inclusive interval [low, high]."""
+    if low > high:
+        raise ValueError(f"invalid clamp interval [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+class ExponentialMean:
+    """Exponentially weighted mean: ``m ← h·m + (1-h)·sample``.
+
+    ``history`` (the ``h`` of §2.4.2 / ``Weight`` of §2.3) controls inertia:
+    1.0 ignores new samples entirely, 0.0 tracks only the latest sample. The
+    first sample initialises the mean directly so the estimate is unbiased
+    from the start.
+    """
+
+    def __init__(self, history: float) -> None:
+        if not 0.0 <= history <= 1.0:
+            raise ValueError(f"history factor must be in [0, 1], got {history}")
+        self.history = history
+        self._value: Optional[float] = None
+
+    @property
+    def value(self) -> Optional[float]:
+        """Current mean, or None before any sample."""
+        return self._value
+
+    @property
+    def initialized(self) -> bool:
+        return self._value is not None
+
+    def update(self, sample: float) -> float:
+        """Fold in a new sample and return the updated mean."""
+        if self._value is None:
+            self._value = sample
+        else:
+            self._value = self.history * self._value + (1.0 - self.history) * sample
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+
+@dataclass
+class SlopeSample:
+    """One (time, value) observation fed to the slope estimator."""
+
+    time: float
+    value: float
+
+
+class SmoothedSlopeEstimator:
+    """SAGA's ``TotGarb'(t)`` estimator (§2.3).
+
+    Given successive (t, TotGarb(t)) observations, maintains::
+
+        slope ← Weight · slope_prev + (1 - Weight) · (ΔTotGarb / Δt)
+
+    Observations with ``Δt == 0`` (the overwrite clock does not advance
+    through read-only phases) leave the slope unchanged — no garbage can have
+    been created, and the finite difference is undefined.
+    """
+
+    def __init__(self, weight: float = 0.7) -> None:
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError(f"weight must be in [0, 1], got {weight}")
+        self.weight = weight
+        self._previous: Optional[SlopeSample] = None
+        self._slope: Optional[float] = None
+
+    @property
+    def slope(self) -> Optional[float]:
+        """Current slope estimate, or None before two usable observations."""
+        return self._slope
+
+    def observe(self, time: float, value: float) -> Optional[float]:
+        """Record an observation and return the updated slope estimate."""
+        sample = SlopeSample(time=time, value=value)
+        previous = self._previous
+        self._previous = sample
+        if previous is None:
+            return self._slope
+
+        dt = sample.time - previous.time
+        if dt <= 0:
+            return self._slope
+
+        instantaneous = (sample.value - previous.value) / dt
+        if self._slope is None:
+            self._slope = instantaneous
+        else:
+            self._slope = self.weight * self._slope + (1.0 - self.weight) * instantaneous
+        return self._slope
+
+    def reset(self) -> None:
+        self._previous = None
+        self._slope = None

@@ -1,0 +1,165 @@
+"""Extension policies sketched in the paper's future work (§5).
+
+Two directions the authors call out:
+
+* **Opportunism** — the core policies assume an active workload; when the
+  database goes quiescent, the collector could run beyond its user-stated
+  limits "to reduce the garbage in the database".
+  :class:`OpportunisticPolicy` wraps any rate policy and volunteers extra
+  collections after a configurable stretch of idle time, as long as garbage
+  remains worth chasing.
+* **Coupling** — "the SAIO policy could use information provided by the SAGA
+  heuristics to determine the cost-effectiveness of the I/O operations being
+  performed, and adjust itself accordingly."
+  :class:`CoupledSaioSagaPolicy` scales SAIO's interval by how far the
+  estimated garbage level sits from a target band: collections get scarcer
+  when there is little garbage to find and denser when garbage is piling up.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimators import GarbageEstimator
+from repro.core.rate_policy import PolicyContext, RatePolicy, TimeBase, Trigger
+from repro.core.saio import SaioPolicy
+from repro.storage.heap import ObjectStore
+from repro.storage.iostats import IOStats
+
+
+class OpportunisticPolicy(RatePolicy):
+    """Wrap a rate policy with quiescent-period opportunism.
+
+    Args:
+        inner: The policy that governs collections under active load.
+        estimator: Garbage estimator consulted during idle periods.
+        idle_threshold: Consecutive idle ticks before opportunism kicks in.
+        min_garbage_bytes: Do not bother collecting opportunistically when the
+            estimated garbage falls below this (each collection still costs
+            I/O; chasing crumbs during idle time only ages the buffer pool).
+    """
+
+    name = "opportunistic"
+
+    def __init__(
+        self,
+        inner: RatePolicy,
+        estimator: GarbageEstimator,
+        idle_threshold: int = 5,
+        min_garbage_bytes: float = 1024.0,
+    ) -> None:
+        if idle_threshold <= 0:
+            raise ValueError(f"idle_threshold must be positive, got {idle_threshold}")
+        if min_garbage_bytes < 0:
+            raise ValueError(f"min_garbage_bytes must be non-negative, got {min_garbage_bytes}")
+        self.inner = inner
+        self.estimator = estimator
+        self.idle_threshold = idle_threshold
+        self.min_garbage_bytes = min_garbage_bytes
+        self._consecutive_idle = 0
+        self.opportunistic_collections = 0
+
+    @property
+    def time_base(self) -> TimeBase:
+        return self.inner.time_base
+
+    def first_trigger(self, store: ObjectStore, iostats: IOStats) -> Trigger:
+        return self.inner.first_trigger(store, iostats)
+
+    def next_trigger(self, ctx: PolicyContext) -> Trigger:
+        return self.inner.next_trigger(ctx)
+
+    def note_activity(self) -> None:
+        """Called by the simulator on every non-idle application event."""
+        self._consecutive_idle = 0
+
+    def note_idle(self, store: ObjectStore) -> bool:
+        """Called by the simulator on each idle tick.
+
+        Returns True when the policy wants an opportunistic collection now.
+        """
+        self._consecutive_idle += 1
+        if self._consecutive_idle < self.idle_threshold:
+            return False
+        if self.estimator.estimate(store) < self.min_garbage_bytes:
+            return False
+        # Re-arm: require another full quiet stretch before the next one.
+        self._consecutive_idle = 0
+        self.opportunistic_collections += 1
+        return True
+
+    def describe(self) -> str:
+        return f"opportunistic({self.inner.describe()}, idle>={self.idle_threshold})"
+
+
+class CoupledSaioSagaPolicy(RatePolicy):
+    """SAIO modulated by SAGA-style garbage estimates (§5 coupling).
+
+    Runs the SAIO interval computation, then scales the result by the ratio
+    of the target garbage level to the estimated one, bounded to
+    ``[1/max_scale, max_scale]``:
+
+    * estimated garbage far *below* target → intervals stretch (collections
+      are not cost-effective right now);
+    * estimated garbage far *above* target → intervals shrink (spend more
+      than the I/O budget to dig out).
+
+    With ``max_scale = 1`` this degenerates to plain SAIO.
+    """
+
+    name = "saio+saga"
+
+    def __init__(
+        self,
+        io_fraction: float,
+        garbage_fraction: float,
+        estimator: GarbageEstimator,
+        max_scale: float = 4.0,
+        c_hist: float = 0,
+        initial_interval: float = 200.0,
+    ) -> None:
+        if not 0.0 < garbage_fraction < 1.0:
+            raise ValueError(f"garbage_fraction must be in (0, 1), got {garbage_fraction}")
+        if max_scale < 1.0:
+            raise ValueError(f"max_scale must be >= 1, got {max_scale}")
+        self._saio = SaioPolicy(
+            io_fraction=io_fraction, c_hist=c_hist, initial_interval=initial_interval
+        )
+        self.garbage_fraction = garbage_fraction
+        self.estimator = estimator
+        self.max_scale = max_scale
+
+    @property
+    def io_fraction(self) -> float:
+        return self._saio.io_fraction
+
+    @property
+    def time_base(self) -> TimeBase:
+        return TimeBase.APP_IO
+
+    def first_trigger(self, store: ObjectStore, iostats: IOStats) -> Trigger:
+        return self._saio.first_trigger(store, iostats)
+
+    def next_trigger(self, ctx: PolicyContext) -> Trigger:
+        self.estimator.observe_collection(ctx.result, ctx.store)
+        base = self._saio.next_trigger(ctx)
+        scale = self._cost_effectiveness_scale(ctx.store)
+        interval = max(self._saio.min_interval, base.interval * scale)
+        return Trigger(TimeBase.APP_IO, interval)
+
+    def _cost_effectiveness_scale(self, store: ObjectStore) -> float:
+        """Target-to-estimated garbage ratio, clamped to the scale band."""
+        db_size = store.db_size
+        if db_size <= 0:
+            return 1.0
+        target = self.garbage_fraction * db_size
+        estimated = max(0.0, self.estimator.estimate(store))
+        if estimated <= 0.0:
+            return self.max_scale
+        ratio = target / estimated
+        return max(1.0 / self.max_scale, min(self.max_scale, ratio))
+
+    def describe(self) -> str:
+        return (
+            f"saio+saga(io={self._saio.io_fraction:.1%}, "
+            f"garbage={self.garbage_fraction:.1%}, "
+            f"estimator={self.estimator.describe()}, scale<={self.max_scale:g})"
+        )

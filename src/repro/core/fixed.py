@@ -1,0 +1,115 @@
+"""Fixed collection-rate policies (§2.1) — the baselines the paper rejects.
+
+A fixed-rate policy collects every ``N`` pointer overwrites regardless of
+application behaviour. The paper shows (Figure 1) that every choice of ``N``
+is wrong for some application or phase; these policies exist here as the
+baselines for Figure 1 and the §2.1 ablation.
+"""
+
+from __future__ import annotations
+
+from repro.core.rate_policy import PolicyContext, RatePolicy, TimeBase, Trigger
+from repro.storage.heap import ObjectStore
+from repro.storage.iostats import IOStats
+
+
+class FixedRatePolicy(RatePolicy):
+    """Collect every ``overwrites_per_collection`` pointer overwrites."""
+
+    name = "fixed"
+
+    def __init__(self, overwrites_per_collection: float) -> None:
+        if overwrites_per_collection <= 0:
+            raise ValueError(
+                f"overwrites_per_collection must be positive, got {overwrites_per_collection}"
+            )
+        self.overwrites_per_collection = overwrites_per_collection
+
+    @property
+    def time_base(self) -> TimeBase:
+        return TimeBase.OVERWRITES
+
+    def first_trigger(self, store: ObjectStore, iostats: IOStats) -> Trigger:
+        return Trigger(TimeBase.OVERWRITES, self.overwrites_per_collection)
+
+    def next_trigger(self, ctx: PolicyContext) -> Trigger:
+        return Trigger(TimeBase.OVERWRITES, self.overwrites_per_collection)
+
+    def describe(self) -> str:
+        return f"fixed({self.overwrites_per_collection:g} overwrites/collection)"
+
+
+class AllocationRatePolicy(RatePolicy):
+    """[YNY94]-style baseline: collect every ``bytes_per_collection`` bytes
+    of new allocation.
+
+    This is the trigger "drawn from the realm of programming languages" that
+    the paper's §2 argues against: object allocation and garbage creation
+    are often uncorrelated in an ODBMS — the OO7 application, for example,
+    generates its whole database (heavy allocation, zero garbage) before the
+    reorganisations create garbage at a completely different tempo.
+    """
+
+    name = "allocation-rate"
+
+    def __init__(self, bytes_per_collection: float) -> None:
+        if bytes_per_collection <= 0:
+            raise ValueError(
+                f"bytes_per_collection must be positive, got {bytes_per_collection}"
+            )
+        self.bytes_per_collection = bytes_per_collection
+
+    @property
+    def time_base(self) -> TimeBase:
+        return TimeBase.ALLOCATED
+
+    def first_trigger(self, store: ObjectStore, iostats: IOStats) -> Trigger:
+        return Trigger(TimeBase.ALLOCATED, self.bytes_per_collection)
+
+    def next_trigger(self, ctx: PolicyContext) -> Trigger:
+        return Trigger(TimeBase.ALLOCATED, self.bytes_per_collection)
+
+    def describe(self) -> str:
+        return f"allocation-rate({self.bytes_per_collection:g} bytes/collection)"
+
+
+class PartitionHeuristicPolicy(FixedRatePolicy):
+    """The §2.1 "clever" fixed-rate heuristic that fails miserably.
+
+    From assumed application characteristics — average in-degree
+    (``connectivity`` pointers to each object) and average object size — it
+    infers that every ``connectivity`` overwrites free ``object_size`` bytes,
+    and schedules a collection whenever one partition's worth of garbage
+    should have accumulated::
+
+        rate = partition_size · connectivity / object_size
+
+    With the paper's numbers (96 KB partitions, connectivity 4, 133-byte
+    objects) this gives 2956 overwrites per collection — about five times too
+    sparse, because single overwrites can detach large connected structures.
+    """
+
+    name = "partition-heuristic"
+
+    def __init__(
+        self,
+        partition_size: int,
+        avg_connectivity: float = 4.0,
+        avg_object_size: float = 133.0,
+    ) -> None:
+        if partition_size <= 0:
+            raise ValueError(f"partition_size must be positive, got {partition_size}")
+        if avg_connectivity <= 0 or avg_object_size <= 0:
+            raise ValueError("connectivity and object size must be positive")
+        self.partition_size = partition_size
+        self.avg_connectivity = avg_connectivity
+        self.avg_object_size = avg_object_size
+        rate = partition_size * avg_connectivity / avg_object_size
+        super().__init__(overwrites_per_collection=rate)
+
+    def describe(self) -> str:
+        return (
+            f"partition-heuristic({self.overwrites_per_collection:.0f} overwrites/collection "
+            f"from {self.partition_size}B partitions, conn {self.avg_connectivity:g}, "
+            f"{self.avg_object_size:g}B objects)"
+        )

@@ -1,0 +1,87 @@
+"""Collection-rate policy protocol.
+
+A *collection-rate policy* decides how long to wait until the next garbage
+collection. Policies measure "how long" against one of two clocks:
+
+* ``OVERWRITES`` — the global pointer-overwrite counter. The paper uses
+  pointer overwrites as the garbage-creation signal (§2), so fixed-rate
+  policies and SAGA schedule in overwrites.
+* ``APP_IO`` — application I/O operations. SAIO (§2.2) controls an I/O
+  percentage, so it naturally uses I/O counts "as a unit of time".
+* ``ALLOCATED`` — bytes allocated. Programming-language collectors (and the
+  [YNY94] baseline the paper contrasts with) trigger "after a fixed amount
+  of storage is allocated"; §2 argues this clock correlates poorly with
+  garbage creation in object databases.
+
+The simulator polls the active trigger after every application event and
+invokes the collector when the deadline passes; after each collection it asks
+the policy for the next interval.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from repro.gc.collector import CollectionResult
+from repro.storage.heap import ObjectStore
+from repro.storage.iostats import IOStats
+
+
+class TimeBase(enum.Enum):
+    """Which clock a policy schedules collections against."""
+
+    OVERWRITES = "overwrites"
+    APP_IO = "app_io"
+    ALLOCATED = "allocated"
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A scheduled collection: fire after ``interval`` units of ``base``."""
+
+    base: TimeBase
+    interval: float
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError(f"trigger interval must be positive, got {self.interval}")
+
+
+@dataclass
+class PolicyContext:
+    """Everything a policy may consult when computing the next interval.
+
+    Policies must restrict themselves to information a real ODBMS could
+    gather cheaply (I/O counters, partition metadata, collection outcomes);
+    only explicitly-labelled oracle components read exact garbage state.
+    """
+
+    result: CollectionResult
+    store: ObjectStore
+    iostats: IOStats
+
+
+class RatePolicy(abc.ABC):
+    """Decides when the next garbage collection should run."""
+
+    #: Human-readable policy name for reports.
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def time_base(self) -> TimeBase:
+        """The clock this policy schedules against."""
+
+    @abc.abstractmethod
+    def first_trigger(self, store: ObjectStore, iostats: IOStats) -> Trigger:
+        """Trigger for the very first collection (cold start, no feedback yet)."""
+
+    @abc.abstractmethod
+    def next_trigger(self, ctx: PolicyContext) -> Trigger:
+        """Trigger for the next collection, given the one that just finished."""
+
+    def describe(self) -> str:
+        """One-line description for report headers."""
+        return self.name

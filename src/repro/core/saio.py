@@ -1,0 +1,115 @@
+"""SAIO — the Semi-Automatic I/O collection-rate policy (§2.2).
+
+The user requests that garbage collection consume ``SAIO_Frac`` of all I/O
+operations. After each collection, SAIO computes how many *application* I/O
+operations to allow before collecting again, assuming the next collection
+will cost about as much as the last one (``ΔGCIO = CurrGCIO``).
+
+Over a history window of ``c_hist`` past collections plus the upcoming
+interval, the policy solves
+
+    (GCIO_hist + CurrGCIO) / (GCIO_hist + CurrGCIO + AppIO_hist + ΔAppIO)
+        = SAIO_Frac
+
+for ``ΔAppIO``. With ``c_hist = 0`` (the paper's default, maximally
+responsive) this reduces to
+
+    ΔAppIO = CurrGCIO · (1 - SAIO_Frac) / SAIO_Frac.
+
+A positive history window feeds past prediction error back into the interval,
+which §4.1.1 notes damps the systematic upward drift seen at very high
+requested percentages.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.rate_policy import PolicyContext, RatePolicy, TimeBase, Trigger
+from repro.storage.heap import ObjectStore
+from repro.storage.iostats import IOStats
+
+#: Sentinel for "use every past collection" (the paper's c_hist = ∞ extreme).
+UNLIMITED_HISTORY = math.inf
+
+
+class SaioPolicy(RatePolicy):
+    """Hold garbage-collection I/O at a requested fraction of total I/O.
+
+    Args:
+        io_fraction: Requested GC share of total I/O, in (0, 1).
+        c_hist: History window in collections — 0 (default, most responsive),
+            a positive integer, or :data:`UNLIMITED_HISTORY`.
+        initial_interval: Application I/O operations before the first
+            collection (cold start, no feedback available yet).
+        min_interval: Floor on the computed interval; the history term can
+            push the raw solution to zero or below when past GC I/O already
+            exceeds the budget, and a collection-every-event regime would
+            starve the application.
+    """
+
+    name = "saio"
+
+    def __init__(
+        self,
+        io_fraction: float,
+        c_hist: float = 0,
+        initial_interval: float = 200.0,
+        min_interval: float = 1.0,
+    ) -> None:
+        if not 0.0 < io_fraction < 1.0:
+            raise ValueError(f"io_fraction must be in (0, 1), got {io_fraction}")
+        if c_hist != UNLIMITED_HISTORY and (c_hist < 0 or int(c_hist) != c_hist):
+            raise ValueError(f"c_hist must be a non-negative integer or UNLIMITED_HISTORY, got {c_hist}")
+        if initial_interval <= 0:
+            raise ValueError(f"initial_interval must be positive, got {initial_interval}")
+        if min_interval <= 0:
+            raise ValueError(f"min_interval must be positive, got {min_interval}")
+        self.io_fraction = io_fraction
+        self.c_hist = c_hist
+        self.initial_interval = initial_interval
+        self.min_interval = min_interval
+
+    @property
+    def time_base(self) -> TimeBase:
+        return TimeBase.APP_IO
+
+    def first_trigger(self, store: ObjectStore, iostats: IOStats) -> Trigger:
+        return Trigger(TimeBase.APP_IO, self.initial_interval)
+
+    def next_trigger(self, ctx: PolicyContext) -> Trigger:
+        interval = self.compute_interval(
+            current_gc_io=ctx.result.gc_io,
+            iostats=ctx.iostats,
+        )
+        return Trigger(TimeBase.APP_IO, interval)
+
+    def compute_interval(self, current_gc_io: int, iostats: IOStats) -> float:
+        """Solve the §2.2 equation for the next application-I/O interval.
+
+        Exposed separately so tests can exercise the algebra directly.
+        """
+        app_hist, gc_hist = self._window(iostats)
+        predicted_gc = gc_hist + current_gc_io
+        frac = self.io_fraction
+        raw = predicted_gc * (1.0 - frac) / frac - app_hist
+        return max(self.min_interval, raw)
+
+    def _window(self, iostats: IOStats) -> tuple[int, int]:
+        """(app, gc) I/O sums over the configured history window.
+
+        Per the §2.2 derivation the window is ``x|_{c-c_hist}^{c}`` — the last
+        ``c_hist`` closed inter-collection intervals, including the one that
+        just ended. The upcoming interval enters the equation separately via
+        the ``ΔGCIO = CurrGCIO`` prediction.
+        """
+        if self.c_hist == 0 or not iostats.history:
+            return (0, 0)
+        history = iostats.history
+        if self.c_hist != UNLIMITED_HISTORY:
+            history = history[-int(self.c_hist):]
+        return (sum(r.app for r in history), sum(r.gc for r in history))
+
+    def describe(self) -> str:
+        hist = "inf" if self.c_hist == UNLIMITED_HISTORY else str(int(self.c_hist))
+        return f"saio({self.io_fraction:.1%} I/O, c_hist={hist})"

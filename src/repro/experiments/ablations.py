@@ -1,0 +1,404 @@
+"""Ablation experiments for the claims the paper makes in passing.
+
+* **Fixed-heuristic failure (§2.1)** — the "collect one partition's worth
+  of garbage" heuristic (96 KB · connectivity / object size ≈ 2956
+  overwrites per collection) badly underestimates garbage creation because
+  single overwrites detach whole structures. We measure the workload's true
+  garbage-per-overwrite and compare the heuristic's prediction with tuned
+  fixed rates and the adaptive policies.
+* **SAIO history (§4.1.1)** — c_hist makes little accuracy difference on
+  OO7, but damps the drift at extreme requested percentages.
+* **Selection policy vs CGS/CB (§4.1.2)** — "if the partition selection
+  policy used was likely to find a partition with only an average amount of
+  garbage (e.g., it picked a random partition to collect), then the CGS/CB
+  heuristic would provide a more accurate estimate."
+* **SAGA slope Weight (§2.3)** — sensitivity of SAGA/oracle accuracy to the
+  slope-smoothing factor around the paper's 0.7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimators import CgsCbEstimator, OracleEstimator
+from repro.core.fixed import (
+    AllocationRatePolicy,
+    FixedRatePolicy,
+    PartitionHeuristicPolicy,
+)
+from repro.core.saga import SagaPolicy
+from repro.core.saio import UNLIMITED_HISTORY, SaioPolicy
+from repro.events import trace_stats
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    SAGA_PREAMBLE,
+    SAIO_PREAMBLE,
+    default_seeds,
+    oo7_trace_factory,
+    paper_store_config,
+    sim_config,
+)
+from repro.gc.selection import RandomSelection, UpdatedPointerSelection
+from repro.oo7.config import OO7Config
+from repro.sim.report import format_table
+from repro.sim.runner import run_seeds
+from repro.workload.application import Oo7Application
+
+
+# ----------------------------------------------------------------------
+# §2.1: the partition-heuristic fixed rate fails
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FixedHeuristicResult:
+    heuristic_rate: float
+    heuristic_gpo_prediction: float
+    measured_gpo: float
+    rows: list[list[object]]
+
+
+def run_fixed_heuristic_ablation(
+    seeds=None, config: OO7Config = DEFAULT_CONFIG
+) -> FixedHeuristicResult:
+    seeds = seeds if seeds is not None else default_seeds()
+    store = paper_store_config()
+    heuristic = PartitionHeuristicPolicy(
+        partition_size=store.partition_size,
+        avg_connectivity=config.num_conn_per_atomic + 1,
+        avg_object_size=DEFAULT_CONFIG.atomic_part_size * 0.6
+        + DEFAULT_CONFIG.connection_size * 0.4,
+    )
+    stats = trace_stats(Oo7Application(config, seed=seeds[0]).events())
+    prediction = heuristic.avg_object_size / heuristic.avg_connectivity
+
+    rows = []
+    rates = [heuristic.overwrites_per_collection, 800, 200, 50]
+    labels = ["heuristic (§2.1)", "fixed 800", "fixed 200", "fixed 50"]
+    trace_factory = oo7_trace_factory(config)
+    for label, rate in zip(labels, rates):
+        aggregate = run_seeds(
+            policy_factory=lambda r=rate: FixedRatePolicy(r),
+            trace_factory=trace_factory,
+            seeds=seeds,
+            config=sim_config(SAGA_PREAMBLE),
+        )
+        rows.append(
+            [
+                label,
+                f"{rate:.0f}",
+                f"{aggregate.collections.mean:.1f}",
+                f"{aggregate.garbage_fraction.mean * 100:.1f}%",
+                f"{aggregate.total_reclaimed.mean / 1024:.0f} KB",
+            ]
+        )
+    return FixedHeuristicResult(
+        heuristic_rate=heuristic.overwrites_per_collection,
+        heuristic_gpo_prediction=prediction,
+        measured_gpo=stats.garbage_per_overwrite,
+        rows=rows,
+    )
+
+
+def format_fixed_heuristic(result: FixedHeuristicResult) -> str:
+    table = format_table(
+        ["policy", "rate (ow/coll)", "collections", "mean garbage %", "collected"],
+        result.rows,
+        title="§2.1 ablation: the partition-heuristic fixed rate fails",
+    )
+    factor = result.measured_gpo / max(1e-9, result.heuristic_gpo_prediction)
+    note = (
+        f"heuristic predicts {result.heuristic_gpo_prediction:.0f} B of garbage per "
+        f"overwrite; the application actually creates {result.measured_gpo:.0f} B "
+        f"per overwrite — {factor:.1f}x more (paper: ~5x), because single "
+        f"overwrites detach whole connected structures."
+    )
+    return f"{table}\n\n{note}"
+
+
+# ----------------------------------------------------------------------
+# §2: overwrite clock vs allocation clock
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ClockAblationResult:
+    rows: list[list[object]]
+    collections_budget: int
+
+
+def run_clock_ablation(
+    collections_budget: int = 50,
+    seeds=None,
+    config: OO7Config = DEFAULT_CONFIG,
+) -> ClockAblationResult:
+    """Compare overwrite-triggered vs allocation-triggered fixed policies.
+
+    §2 argues pointer overwrites — not allocation — signal garbage creation
+    in an ODBMS. Both baselines are calibrated (from a probe run) to spend
+    the *same* total number of collections; the difference is purely *when*
+    they spend them. The allocation clock races through GenDB (heavy
+    allocation, zero garbage) and through the insertion halves of the
+    reorganisations, wasting collections where there is nothing to reclaim.
+    """
+    seeds = seeds if seeds is not None else default_seeds()
+
+    # Probe: total overwrites and allocated bytes of one run.
+    probe_store_events = Oo7Application(config, seed=seeds[0]).events()
+    probe = trace_stats(probe_store_events)
+    total_overwrites = probe.pointer_overwrites
+    total_allocated = probe.bytes_created
+
+    policies = [
+        (
+            "overwrite clock",
+            lambda: FixedRatePolicy(max(1.0, total_overwrites / collections_budget)),
+        ),
+        (
+            "allocation clock",
+            lambda: AllocationRatePolicy(
+                max(1.0, total_allocated / collections_budget)
+            ),
+        ),
+    ]
+    trace_factory = oo7_trace_factory(config)
+    rows = []
+    for label, policy_factory in policies:
+        zero_yield = []
+        gendb_collections = []
+        for seed in seeds:
+            aggregate = run_seeds(
+                policy_factory=policy_factory,
+                trace_factory=trace_factory,
+                seeds=[seed],
+                config=sim_config(SAGA_PREAMBLE),
+                keep_results=True,
+            )
+            records = aggregate.results[0].collections
+            zero_yield.append(
+                sum(1 for r in records if r.reclaimed_bytes == 0)
+                / max(1, len(records))
+            )
+            gendb_collections.append(
+                sum(1 for r in records if r.phase == "GenDB")
+            )
+        aggregate = run_seeds(
+            policy_factory=policy_factory,
+            trace_factory=trace_factory,
+            seeds=seeds,
+            config=sim_config(SAGA_PREAMBLE),
+        )
+        rows.append(
+            [
+                label,
+                f"{aggregate.collections.mean:.1f}",
+                f"{sum(gendb_collections) / len(gendb_collections):.1f}",
+                f"{sum(zero_yield) / len(zero_yield) * 100:.0f}%",
+                f"{aggregate.total_reclaimed.mean / 1024:.0f} KB",
+                f"{aggregate.garbage_fraction.mean * 100:.1f}%",
+            ]
+        )
+    return ClockAblationResult(rows=rows, collections_budget=collections_budget)
+
+
+def format_clock_ablation(result: ClockAblationResult) -> str:
+    table = format_table(
+        [
+            "trigger clock",
+            "collections",
+            "during GenDB",
+            "zero-yield",
+            "reclaimed",
+            "mean garbage",
+        ],
+        result.rows,
+        title=(
+            "§2 ablation: overwrite clock vs allocation clock "
+            f"(~{result.collections_budget} collections each)"
+        ),
+    )
+    note = (
+        "Allocation and garbage creation are not correlated in this workload: "
+        "the allocation-triggered baseline burns collections during GenDB and "
+        "the insertion sweeps, where no garbage exists to reclaim."
+    )
+    return f"{table}\n\n{note}"
+
+
+# ----------------------------------------------------------------------
+# §4.1.1: SAIO history parameter
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SaioHistoryResult:
+    rows: list[list[object]]
+
+
+def run_saio_history_ablation(
+    fractions=(0.10, 0.40, 0.65),
+    histories=(0, 4, UNLIMITED_HISTORY),
+    seeds=None,
+    config: OO7Config = DEFAULT_CONFIG,
+) -> SaioHistoryResult:
+    seeds = seeds if seeds is not None else default_seeds()
+    trace_factory = oo7_trace_factory(config)
+    rows = []
+    for fraction in fractions:
+        for history in histories:
+            aggregate = run_seeds(
+                policy_factory=lambda f=fraction, h=history: SaioPolicy(
+                    io_fraction=f, c_hist=h
+                ),
+                trace_factory=trace_factory,
+                seeds=seeds,
+                config=sim_config(SAIO_PREAMBLE),
+            )
+            stat = aggregate.gc_io_fraction
+            label = "inf" if history == UNLIMITED_HISTORY else f"{history:g}"
+            rows.append(
+                [
+                    f"{fraction * 100:.0f}%",
+                    label,
+                    f"{stat.mean * 100:.2f}%",
+                    f"{(stat.mean - fraction) * 100:+.2f}%",
+                    f"{stat.spread * 100:.2f}%",
+                ]
+            )
+    return SaioHistoryResult(rows=rows)
+
+
+def format_saio_history(result: SaioHistoryResult) -> str:
+    return format_table(
+        ["requested", "c_hist", "achieved", "error", "min-max spread"],
+        result.rows,
+        title="§4.1.1 ablation: SAIO history parameter",
+    )
+
+
+# ----------------------------------------------------------------------
+# §4.1.2: CGS/CB under random vs UPDATEDPOINTER selection
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SelectionAblationResult:
+    rows: list[list[object]]
+
+
+def run_selection_ablation(
+    requested: float = 0.10, seeds=None, config: OO7Config = DEFAULT_CONFIG
+) -> SelectionAblationResult:
+    """Measure CGS/CB *estimation* bias under each selection policy.
+
+    The paper's claim is about the estimator, not the closed loop: with a
+    selection policy that picks an average partition (random), the "last
+    victim is representative" assumption holds and ``C · p`` approximates
+    the actual garbage; UPDATEDPOINTER hunts above-average victims, so
+    ``C · p`` overestimates.
+    """
+    seeds = seeds if seeds is not None else default_seeds()
+    trace_factory = oo7_trace_factory(config)
+    rows = []
+    for label, selection_factory in (
+        ("updated-pointer", lambda seed: UpdatedPointerSelection()),
+        ("random", lambda seed: RandomSelection(seed=seed)),
+    ):
+        biases = []
+        abs_errors = []
+        achieved = []
+        for seed in seeds:
+            aggregate = run_seeds(
+                policy_factory=lambda: SagaPolicy(
+                    garbage_fraction=requested, estimator=CgsCbEstimator()
+                ),
+                trace_factory=trace_factory,
+                seeds=[seed],
+                selection_factory=selection_factory,
+                config=sim_config(SAGA_PREAMBLE),
+                keep_results=True,
+            )
+            records = aggregate.results[0].collections
+            pairs = [
+                (r.estimated_garbage_fraction, r.actual_garbage_fraction)
+                for r in records
+                if r.estimated_garbage_fraction is not None
+            ]
+            if pairs:
+                biases.append(sum(e - a for e, a in pairs) / len(pairs))
+                abs_errors.append(sum(abs(e - a) for e, a in pairs) / len(pairs))
+            achieved.append(aggregate.summaries[0].garbage_fraction_mean)
+        rows.append(
+            [
+                label,
+                f"{sum(biases) / len(biases) * 100:+.2f}%",
+                f"{sum(abs_errors) / len(abs_errors) * 100:.2f}%",
+                f"{sum(achieved) / len(achieved) * 100:.2f}%",
+            ]
+        )
+    return SelectionAblationResult(rows=rows)
+
+
+def format_selection_ablation(result: SelectionAblationResult) -> str:
+    table = format_table(
+        ["selection", "estimate bias (est-act)", "mean |est-act|", "achieved garbage"],
+        result.rows,
+        title="§4.1.2 ablation: CGS/CB estimation accuracy vs selection policy",
+    )
+    note = (
+        "CGS/CB assumes the last victim is representative of all partitions; "
+        "random selection satisfies that assumption (small bias), while "
+        "UPDATEDPOINTER deliberately violates it (estimates biased high)."
+    )
+    return f"{table}\n\n{note}"
+
+
+# ----------------------------------------------------------------------
+# §2.3: SAGA slope-smoothing Weight
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class WeightAblationResult:
+    rows: list[list[object]]
+
+
+def run_weight_ablation(
+    requested: float = 0.10,
+    weights=(0.0, 0.4, 0.7, 0.9),
+    seeds=None,
+    config: OO7Config = DEFAULT_CONFIG,
+) -> WeightAblationResult:
+    seeds = seeds if seeds is not None else default_seeds()
+    trace_factory = oo7_trace_factory(config)
+    rows = []
+    for weight in weights:
+        aggregate = run_seeds(
+            policy_factory=lambda w=weight: SagaPolicy(
+                garbage_fraction=requested,
+                estimator=OracleEstimator(),
+                weight=w,
+            ),
+            trace_factory=trace_factory,
+            seeds=seeds,
+            config=sim_config(SAGA_PREAMBLE),
+        )
+        stat = aggregate.garbage_fraction
+        rows.append(
+            [
+                f"{weight:g}",
+                f"{stat.mean * 100:.2f}%",
+                f"{(stat.mean - requested) * 100:+.2f}%",
+                f"{stat.spread * 100:.2f}%",
+                f"{aggregate.collections.mean:.1f}",
+            ]
+        )
+    return WeightAblationResult(rows=rows)
+
+
+def format_weight_ablation(result: WeightAblationResult) -> str:
+    return format_table(
+        ["Weight", "achieved", "error", "min-max spread", "collections"],
+        result.rows,
+        title="§2.3 ablation: SAGA slope-smoothing Weight (10% requested, oracle)",
+    )

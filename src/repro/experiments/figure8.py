@@ -1,0 +1,121 @@
+"""Figure 8: sensitivity of policy accuracy to database connectivity.
+
+Repeats the Figure 4 (SAIO) and Figure 5 (SAGA, oracle and FGS/HB) accuracy
+sweeps with ``NumConnPerAtomic`` set to 6 and 9 instead of 3. The paper's
+finding: "the results in the graphs are consistent with those [at
+connectivity 3] … the SAIO and SAGA policies are effective across a variety
+of database connectivities."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimators import make_estimator
+from repro.core.saga import SagaPolicy
+from repro.core.saio import SaioPolicy
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    SAGA_PREAMBLE,
+    SAIO_PREAMBLE,
+    SWEEP_HEADERS,
+    SweepPoint,
+    default_seeds,
+    full_scale,
+    oo7_trace_factory,
+    sim_config,
+    sweep_rows,
+)
+from repro.oo7.config import OO7Config
+from repro.sim.report import format_table
+from repro.sim.runner import run_seeds
+
+FULL_FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.30)
+QUICK_FRACTIONS = (0.05, 0.10, 0.20)
+CONNECTIVITIES = (6, 9)
+
+
+@dataclass
+class Figure8Result:
+    #: saio[connectivity] and saga[(estimator, connectivity)] sweeps.
+    saio: dict[int, list[SweepPoint]]
+    saga: dict[tuple[str, int], list[SweepPoint]]
+    seeds: list[int]
+    config: OO7Config
+
+
+def run_figure8(
+    fractions=None,
+    seeds=None,
+    connectivities=CONNECTIVITIES,
+    estimators=("oracle", "fgs-hb"),
+    config: OO7Config = DEFAULT_CONFIG,
+) -> Figure8Result:
+    fractions = (
+        fractions
+        if fractions is not None
+        else (FULL_FRACTIONS if full_scale() else QUICK_FRACTIONS)
+    )
+    seeds = seeds if seeds is not None else default_seeds()
+    saio: dict[int, list[SweepPoint]] = {}
+    saga: dict[tuple[str, int], list[SweepPoint]] = {}
+    for connectivity in connectivities:
+        variant = config.with_connectivity(connectivity)
+        trace_factory = oo7_trace_factory(variant)
+
+        points = []
+        for fraction in fractions:
+            aggregate = run_seeds(
+                policy_factory=lambda f=fraction: SaioPolicy(io_fraction=f),
+                trace_factory=trace_factory,
+                seeds=seeds,
+                config=sim_config(SAIO_PREAMBLE),
+            )
+            stat = aggregate.gc_io_fraction
+            points.append(
+                SweepPoint(fraction, stat.mean, stat.minimum, stat.maximum)
+            )
+        saio[connectivity] = points
+
+        for estimator_name in estimators:
+            points = []
+            for fraction in fractions:
+                aggregate = run_seeds(
+                    policy_factory=lambda f=fraction, e=estimator_name: SagaPolicy(
+                        garbage_fraction=f, estimator=make_estimator(e)
+                    ),
+                    trace_factory=trace_factory,
+                    seeds=seeds,
+                    config=sim_config(SAGA_PREAMBLE),
+                )
+                stat = aggregate.garbage_fraction
+                points.append(
+                    SweepPoint(fraction, stat.mean, stat.minimum, stat.maximum)
+                )
+            saga[(estimator_name, connectivity)] = points
+    return Figure8Result(saio=saio, saga=saga, seeds=list(seeds), config=config)
+
+
+def format_figure8(result: Figure8Result) -> str:
+    sections = []
+    for connectivity, points in sorted(result.saio.items()):
+        sections.append(
+            format_table(
+                SWEEP_HEADERS,
+                sweep_rows(points),
+                title=f"Figure 8: SAIO accuracy at connectivity {connectivity}",
+            )
+        )
+    for (estimator, connectivity), points in sorted(result.saga.items()):
+        sections.append(
+            format_table(
+                SWEEP_HEADERS,
+                sweep_rows(points),
+                title=(
+                    f"Figure 8: SAGA ({estimator}) accuracy at "
+                    f"connectivity {connectivity}"
+                ),
+            )
+        )
+    sections.append(f"({len(result.seeds)} seeds per point)")
+    return "\n\n".join(sections)

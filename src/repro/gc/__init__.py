@@ -1,0 +1,22 @@
+"""Partitioned copying garbage collector and partition-selection policies."""
+
+from repro.gc.collector import CollectionResult, CopyingCollector
+from repro.gc.selection import (
+    MostGarbageOracleSelection,
+    PartitionSelectionPolicy,
+    RandomSelection,
+    RoundRobinSelection,
+    UpdatedPointerSelection,
+    make_selection_policy,
+)
+
+__all__ = [
+    "CollectionResult",
+    "CopyingCollector",
+    "MostGarbageOracleSelection",
+    "PartitionSelectionPolicy",
+    "RandomSelection",
+    "RoundRobinSelection",
+    "UpdatedPointerSelection",
+    "make_selection_policy",
+]

@@ -1,0 +1,148 @@
+"""OO7 benchmark database parameters (Table 1 of the paper, after [CDN93]).
+
+The paper measures a ``Small'`` variant of the OO7 Small database: identical
+except for 150 composite parts per module (instead of 500) and 6 assembly
+levels (instead of 7), keeping simulation turnaround manageable. Both
+parameter sets are provided, plus a ``Tiny`` set used by this repository's
+test suite.
+
+Object byte sizes are a reproduction choice (the paper never lists per-class
+layouts): they are picked so the *emergent* workload constants the policies
+actually observe — garbage created per pointer overwrite (§2.1 reports about
+1 KB per 6 overwrites, i.e. ~170 B/overwrite; ours lands near 140) and
+atomic-part in-degree (connectivity + 1) — match the paper. See DESIGN.md
+for the substitution note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class OO7Config:
+    """Parameters of an OO7 database instance.
+
+    The first block mirrors Table 1; the second block gives object sizes in
+    bytes; ``seed`` controls all randomised structure (connection targets,
+    assembly-to-composite wiring).
+    """
+
+    # Table 1 parameters.
+    num_atomic_per_comp: int = 20
+    num_conn_per_atomic: int = 3
+    document_size: int = 2000
+    manual_size: int = 100 * 1024
+    num_comp_per_module: int = 150
+    num_assm_per_assm: int = 3
+    num_assm_levels: int = 6
+    num_comp_per_assm: int = 3
+    num_modules: int = 1
+
+    # Object sizes (reproduction choice, see module docstring).
+    atomic_part_size: int = 200
+    connection_size: int = 120
+    composite_part_size: int = 160
+    assembly_size: int = 96
+    module_size: int = 80
+
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        positive_fields = (
+            "num_atomic_per_comp",
+            "num_conn_per_atomic",
+            "document_size",
+            "manual_size",
+            "num_comp_per_module",
+            "num_assm_per_assm",
+            "num_assm_levels",
+            "num_comp_per_assm",
+            "num_modules",
+            "atomic_part_size",
+            "connection_size",
+            "composite_part_size",
+            "assembly_size",
+            "module_size",
+        )
+        for name in positive_fields:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive, got {getattr(self, name)}")
+        if self.num_atomic_per_comp < 2:
+            raise ValueError("need at least 2 atomic parts per composite (root + deletable)")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def base_assemblies_per_module(self) -> int:
+        """Leaf assemblies: fan-out^(levels-1)."""
+        return self.num_assm_per_assm ** (self.num_assm_levels - 1)
+
+    @property
+    def assemblies_per_module(self) -> int:
+        """All assemblies in the (complete) assembly tree."""
+        total = 0
+        width = 1
+        for _level in range(self.num_assm_levels):
+            total += width
+            width *= self.num_assm_per_assm
+        return total
+
+    @property
+    def atomic_parts_per_module(self) -> int:
+        return self.num_comp_per_module * self.num_atomic_per_comp
+
+    @property
+    def connections_per_module(self) -> int:
+        return self.atomic_parts_per_module * self.num_conn_per_atomic
+
+    @property
+    def expected_bytes_per_module(self) -> int:
+        """Logical object bytes of one freshly generated module."""
+        return (
+            self.module_size
+            + self.manual_size
+            + self.assemblies_per_module * self.assembly_size
+            + self.num_comp_per_module
+            * (self.composite_part_size + self.document_size)
+            + self.atomic_parts_per_module * self.atomic_part_size
+            + self.connections_per_module * self.connection_size
+        )
+
+    @property
+    def expected_object_count(self) -> int:
+        """Total objects in a freshly generated database."""
+        per_module = (
+            2  # module + manual
+            + self.assemblies_per_module
+            + 2 * self.num_comp_per_module  # composite + document
+            + self.atomic_parts_per_module
+            + self.connections_per_module
+        )
+        return self.num_modules * per_module
+
+    def with_connectivity(self, num_conn_per_atomic: int) -> "OO7Config":
+        """Copy of this config at a different NumConnPerAtomic (Figure 8)."""
+        return replace(self, num_conn_per_atomic=num_conn_per_atomic)
+
+    def with_seed(self, seed: int) -> "OO7Config":
+        """Copy of this config with a different structure seed."""
+        return replace(self, seed=seed)
+
+
+#: The paper's measured database (Table 1, column "Small'").
+SMALL_PRIME = OO7Config()
+
+#: The original OO7 Small database (Table 1, column "Small") [CDN93, YNY94].
+SMALL = OO7Config(num_comp_per_module=500, num_assm_levels=7)
+
+#: A reduced configuration for fast unit and integration tests.
+TINY = OO7Config(
+    num_atomic_per_comp=6,
+    num_comp_per_module=12,
+    num_assm_levels=3,
+    manual_size=8 * 1024,
+    document_size=500,
+)

@@ -1,0 +1,91 @@
+"""Textual renderings of the paper's descriptive figures.
+
+* :func:`describe_phases` — Figure 2, the application phase sequence;
+* :func:`describe_structure` — Figure 3, the OO7 database structure, with
+  counts from an actual configuration (and optionally placement statistics
+  from a generated database).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.oo7.config import OO7Config
+from repro.oo7.schema import Oo7Graph
+from repro.storage.heap import ObjectStore
+
+
+def describe_phases() -> str:
+    """Figure 2: the phases of the OO7 test application."""
+    return "\n".join(
+        [
+            "Figure 2: Phases of the OO7 Test Application",
+            "",
+            "  +-------+    +--------+    +----------+    +--------+",
+            "  | GenDB |--->| Reorg1 |--->| Traverse |--->| Reorg2 |",
+            "  +-------+    +--------+    +----------+    +--------+",
+            "",
+            "  GenDB    generate the initial database (allocation only,",
+            "           no garbage is created)",
+            "  Reorg1   delete half the atomic parts, reinsert them",
+            "           clustered by composite part",
+            "  Traverse read-only depth-first traversal over all atomic",
+            "           parts (no pointer overwrites: overwrite-time",
+            "           stands still)",
+            "  Reorg2   delete half the atomic parts again, reinsert them",
+            "           interleaved across composites — breaking each",
+            "           composite's clustering",
+        ]
+    )
+
+
+def describe_structure(
+    config: OO7Config,
+    graph: Optional[Oo7Graph] = None,
+    store: Optional[ObjectStore] = None,
+) -> str:
+    """Figure 3: the OO7 database structure, with configured counts.
+
+    When a generated ``graph`` (and optionally its ``store``) is supplied,
+    adds measured population and placement statistics.
+    """
+    lines = [
+        "Figure 3: Structure of the OO7 Database",
+        "",
+        "  Module ──┬── Manual",
+        "           └── Assembly (root)",
+        f"                 └── … {config.num_assm_levels} levels, fan-out "
+        f"{config.num_assm_per_assm} …",
+        f"                       └── Base assemblies ({config.base_assemblies_per_module})",
+        f"                             └── {config.num_comp_per_assm} composite parts each",
+        "",
+        f"  CompositePart ({config.num_comp_per_module}) ──┬── Document "
+        f"({config.document_size} B)",
+        f"                        └── {config.num_atomic_per_comp} atomic parts",
+        "",
+        f"  AtomicPart ──── {config.num_conn_per_atomic} connections to other parts",
+        "                  of the same composite (in-degree ≈ "
+        f"{config.num_conn_per_atomic + 1}: composite + connections)",
+        "",
+        "  Deleting an atomic part overwrites the composite's pointer and",
+        "  retargets incoming connections; the part and its outgoing",
+        "  connection objects become garbage as one detached cluster.",
+        "",
+        f"  Expected population: {config.expected_object_count:,} objects, "
+        f"{config.expected_bytes_per_module / 1e6:.2f} MB",
+    ]
+    if graph is not None:
+        parts = graph.alive_atomic_parts()
+        lines.append("")
+        lines.append(
+            f"  Generated: {len(graph.composites)} composites, "
+            f"{len(parts)} atomic parts, "
+            f"{graph.alive_connection_count()} connections"
+        )
+        if store is not None:
+            lines.append(
+                f"  Stored in {store.partition_count} partitions of "
+                f"{store.config.partition_size // 1024} KB "
+                f"({store.db_size / 1e6:.2f} MB allocated)"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Trace-driven simulation: engine, metrics, multi-seed runner, reports."""
+
+from repro.sim.clustering import (
+    SpreadStats,
+    composite_spread,
+    traverse_hit_rate,
+    traverse_page_footprint,
+)
+from repro.sim.metrics import (
+    CollectionRecord,
+    EventSample,
+    RunningMean,
+    Sampler,
+    SimulationSummary,
+)
+from repro.sim.runner import (
+    AggregateResult,
+    AggregateStat,
+    run_one,
+    run_seeds,
+)
+from repro.sim.simulator import Simulation, SimulationConfig, SimulationResult
+
+__all__ = [
+    "AggregateResult",
+    "SpreadStats",
+    "composite_spread",
+    "traverse_hit_rate",
+    "traverse_page_footprint",
+    "AggregateStat",
+    "CollectionRecord",
+    "EventSample",
+    "RunningMean",
+    "Sampler",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationResult",
+    "SimulationSummary",
+    "run_one",
+    "run_seeds",
+]

@@ -1,0 +1,115 @@
+"""Terminal-friendly report formatting: fixed-width tables and ASCII plots.
+
+Experiment drivers return structured data; this module renders it the way
+the paper presents it — accuracy tables (requested vs achieved with min/max
+error bars) and time-varying line plots — without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with right-aligned numeric columns."""
+    cells = [[_format_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+
+    def render_row(values: Sequence[str]) -> str:
+        return "  ".join(text.rjust(widths[i]) for i, text in enumerate(values))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_percent(value: float, digits: int = 2) -> str:
+    """0.1234 → '12.34%'."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def ascii_plot(
+    series: dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 16,
+    title: Optional[str] = None,
+    y_label: Optional[str] = None,
+) -> str:
+    """Plot one or more equally indexed series as ASCII art.
+
+    Each series gets a marker character (in order: ``*+o#@%&``). Series are
+    resampled onto ``width`` columns; the y-range spans all series jointly.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    if width < 8 or height < 4:
+        raise ValueError("plot must be at least 8x4")
+
+    markers = "*+o#@%&"
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        raise ValueError("series contain no data")
+    lo, hi = min(all_values), max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        if not values:
+            continue
+        for column in range(width):
+            position = column * (len(values) - 1) / max(1, width - 1)
+            value = values[min(len(values) - 1, round(position))]
+            row = height - 1 - round((value - lo) / (hi - lo) * (height - 1))
+            row = min(height - 1, max(0, row))
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    label = y_label or "y"
+    lines.append(f"{label}: [{lo:.4g} .. {hi:.4g}]")
+    lines.append("+" + "-" * width + "+")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compact one-line trend: resample onto width columns of block glyphs."""
+    if not values:
+        return ""
+    glyphs = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    columns = []
+    for column in range(width):
+        position = column * (len(values) - 1) / max(1, width - 1)
+        value = values[min(len(values) - 1, round(position))]
+        level = int((value - lo) / span * (len(glyphs) - 1))
+        columns.append(glyphs[level])
+    return "".join(columns)

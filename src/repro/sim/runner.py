@@ -1,0 +1,136 @@
+"""Multi-seed experiment runner.
+
+The paper evaluates policies "based on multiple simulation runs that differ
+only in the initial random number seed" (§3.2), reporting for each setting
+the mean over 10 runs with error bars at the minimum and maximum of the
+per-run means (§4.1). This module provides that protocol: build a fresh
+workload and policy per seed, run the simulation, and aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.core.rate_policy import RatePolicy
+from repro.gc.selection import PartitionSelectionPolicy, UpdatedPointerSelection
+from repro.sim.metrics import SimulationSummary
+from repro.sim.simulator import Simulation, SimulationConfig, SimulationResult
+from repro.events import TraceEvent
+
+#: Builds the trace for a given seed.
+TraceFactory = Callable[[int], Iterable[TraceEvent]]
+#: Builds a fresh policy instance (policies are stateful; never share them).
+PolicyFactory = Callable[[], RatePolicy]
+#: Builds a fresh selection policy for a given seed.
+SelectionFactory = Callable[[int], PartitionSelectionPolicy]
+
+
+@dataclass(frozen=True)
+class AggregateStat:
+    """Mean / min / max of one metric across runs (the paper's error bars)."""
+
+    mean: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "AggregateStat":
+        if not values:
+            return cls(0.0, 0.0, 0.0)
+        return cls(
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+        )
+
+    @property
+    def spread(self) -> float:
+        return self.maximum - self.minimum
+
+
+@dataclass
+class AggregateResult:
+    """Results of one experimental setting across all seeds."""
+
+    summaries: list[SimulationSummary]
+    #: Kept only when the caller asks for full results (memory!).
+    results: list[SimulationResult] = field(default_factory=list)
+
+    @property
+    def runs(self) -> int:
+        return len(self.summaries)
+
+    @property
+    def garbage_fraction(self) -> AggregateStat:
+        return AggregateStat.of([s.garbage_fraction_mean for s in self.summaries])
+
+    @property
+    def gc_io_fraction(self) -> AggregateStat:
+        return AggregateStat.of([s.gc_io_fraction for s in self.summaries])
+
+    @property
+    def collections(self) -> AggregateStat:
+        return AggregateStat.of([float(s.collections) for s in self.summaries])
+
+    @property
+    def total_io(self) -> AggregateStat:
+        return AggregateStat.of(
+            [float(s.app_io_total + s.gc_io_total) for s in self.summaries]
+        )
+
+    @property
+    def total_reclaimed(self) -> AggregateStat:
+        return AggregateStat.of(
+            [float(s.total_reclaimed_bytes) for s in self.summaries]
+        )
+
+
+def run_one(
+    policy: RatePolicy,
+    trace: Iterable[TraceEvent],
+    selection: Optional[PartitionSelectionPolicy] = None,
+    config: Optional[SimulationConfig] = None,
+) -> SimulationResult:
+    """Run a single simulation (convenience wrapper)."""
+    sim = Simulation(policy=policy, selection=selection, config=config)
+    return sim.run(trace)
+
+
+def run_seeds(
+    policy_factory: PolicyFactory,
+    trace_factory: TraceFactory,
+    seeds: Sequence[int],
+    selection_factory: Optional[SelectionFactory] = None,
+    config: Optional[SimulationConfig] = None,
+    keep_results: bool = False,
+) -> AggregateResult:
+    """Run one experimental setting across several seeds and aggregate.
+
+    Args:
+        policy_factory: Called once per seed for a fresh policy.
+        trace_factory: Called with each seed for a fresh workload trace.
+        seeds: The seeds (the paper uses 10 per data point).
+        selection_factory: Partition selection per seed (default
+            UPDATEDPOINTER).
+        config: Simulation configuration shared by all runs.
+        keep_results: Retain full per-run results (series, stores). Off by
+            default to bound memory across large sweeps.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    aggregate = AggregateResult(summaries=[])
+    for seed in seeds:
+        selection = (
+            selection_factory(seed) if selection_factory else UpdatedPointerSelection()
+        )
+        result = run_one(
+            policy=policy_factory(),
+            trace=trace_factory(seed),
+            selection=selection,
+            config=config,
+        )
+        aggregate.summaries.append(result.summary)
+        if keep_results:
+            aggregate.results.append(result)
+    return aggregate

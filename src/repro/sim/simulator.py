@@ -1,0 +1,255 @@
+"""The trace-driven simulation engine (§3.2).
+
+A :class:`Simulation` wires together a store, a collector, a
+partition-selection policy, a collection-rate policy, and a metrics sampler,
+then replays a trace:
+
+1. each event is applied to the store (creates, accesses, pointer writes);
+2. after every event the active trigger is checked against its clock —
+   pointer overwrites or application I/O operations, depending on the rate
+   policy's time base — and a collection runs when the deadline passes;
+3. after each collection the rate policy computes the next trigger from what
+   just happened (the self-adaptive feedback loop of §2).
+
+Idle events additionally give opportunistic policies (§5) a chance to
+volunteer extra collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.extensions import OpportunisticPolicy
+from repro.core.rate_policy import PolicyContext, RatePolicy, TimeBase, Trigger
+from repro.gc.collector import CollectionResult, CopyingCollector
+from repro.gc.selection import PartitionSelectionPolicy, UpdatedPointerSelection
+from repro.sim.metrics import Sampler, SimulationSummary
+from repro.storage.heap import ObjectStore, StoreConfig
+from repro.events import (
+    AbortTransactionEvent,
+    AccessEvent,
+    BeginTransactionEvent,
+    CommitTransactionEvent,
+    CreateEvent,
+    IdleEvent,
+    PhaseMarkerEvent,
+    PointerWriteEvent,
+    RootEvent,
+    TraceEvent,
+    UpdateEvent,
+)
+from repro.tx.manager import TransactionManager
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of a simulation run.
+
+    Attributes:
+        store: Store geometry (partition/page/buffer sizes).
+        preamble_collections: Cold-start collections excluded from means.
+        keep_event_series: Retain per-event samples (Figures 6/7 need them).
+        series_stride: Sampling stride for retained series.
+        max_collections: Safety valve — abort if a policy goes pathological.
+        validate_every: Debug mode — audit every store invariant after each
+            N-th collection (0 disables). Expensive; meant for tests and
+            debugging, not measurement runs.
+        enable_wal: Attach a write-ahead log to the transaction manager;
+            transactional traces then pay realistic logging I/O (charged as
+            application I/O, so it competes with the collector under SAIO).
+        wal_page_size: Log page size when the WAL is enabled.
+    """
+
+    store: StoreConfig = field(default_factory=StoreConfig)
+    preamble_collections: int = 10
+    keep_event_series: bool = False
+    series_stride: int = 1
+    max_collections: int = 100_000
+    validate_every: int = 0
+    enable_wal: bool = False
+    wal_page_size: int = 8 * 1024
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produced."""
+
+    summary: SimulationSummary
+    sampler: Sampler
+    store: ObjectStore
+    policy: RatePolicy
+
+    @property
+    def collections(self):
+        return self.sampler.collection_records
+
+    @property
+    def event_series(self):
+        return self.sampler.event_series
+
+
+class Simulation:
+    """One trace-driven simulation run."""
+
+    def __init__(
+        self,
+        policy: RatePolicy,
+        selection: Optional[PartitionSelectionPolicy] = None,
+        config: Optional[SimulationConfig] = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.policy = policy
+        self.selection = selection or UpdatedPointerSelection()
+        self.store = ObjectStore(self.config.store)
+        self.collector = CopyingCollector(self.store)
+        self.sampler = Sampler(
+            preamble_collections=self.config.preamble_collections,
+            keep_event_series=self.config.keep_event_series,
+            series_stride=self.config.series_stride,
+        )
+        wal = None
+        if self.config.enable_wal:
+            from repro.tx.wal import WriteAheadLog
+
+            wal = WriteAheadLog(self.store.iostats, page_size=self.config.wal_page_size)
+        self.tx = TransactionManager(self.store, wal=wal)
+        self._trigger: Optional[Trigger] = None
+        self._due_at: float = float("inf")
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Iterable[TraceEvent]) -> SimulationResult:
+        """Replay a trace to completion and return the results."""
+        self._schedule(self.policy.first_trigger(self.store, self.store.iostats))
+        for event in trace:
+            self._apply(event)
+            if isinstance(event, PhaseMarkerEvent):
+                continue
+            if isinstance(event, IdleEvent):
+                self._handle_idle(event.ticks)
+                continue
+            self._note_activity()
+            self.sampler.on_event(self.store, self.store.iostats)
+            if self.tx.in_transaction:
+                # The database is never collected mid-transaction (§3.2's
+                # whole-database-lock model); triggers fire at commit/abort.
+                continue
+            while self._clock() >= self._due_at:
+                self._collect()
+        return SimulationResult(
+            summary=self.sampler.summary(self.store, self.store.iostats),
+            sampler=self.sampler,
+            store=self.store,
+            policy=self.policy,
+        )
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+
+    def _apply(self, event: TraceEvent) -> None:
+        # Mutations route through the transaction manager while a
+        # transaction is open, so aborts can physically undo them.
+        sink = self.tx if self.tx.in_transaction else self.store
+        if isinstance(event, PointerWriteEvent):
+            sink.write_pointer(event.src, event.slot, event.target, dies=event.dies)
+        elif isinstance(event, CreateEvent):
+            sink.create(
+                size=event.size,
+                kind=event.kind,
+                pointers=dict(event.pointers),
+                oid=event.oid,
+            )
+        elif isinstance(event, AccessEvent):
+            sink.access(event.oid)
+        elif isinstance(event, UpdateEvent):
+            sink.update(event.oid)
+        elif isinstance(event, RootEvent):
+            sink.register_root(event.oid)
+        elif isinstance(event, BeginTransactionEvent):
+            self.tx.begin(event.txid)
+        elif isinstance(event, CommitTransactionEvent):
+            self.tx.commit(event.txid)
+        elif isinstance(event, AbortTransactionEvent):
+            self.tx.abort(event.txid)
+        elif isinstance(event, PhaseMarkerEvent):
+            self.sampler.on_phase(event.name)
+        elif isinstance(event, IdleEvent):
+            pass  # Quiescence: no store activity.
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown trace event {event!r}")
+
+    # ------------------------------------------------------------------
+    # Collection triggering
+    # ------------------------------------------------------------------
+
+    def _clock(self) -> float:
+        if self._trigger is None:
+            return 0.0
+        return self._read_clock(self._trigger.base)
+
+    def _read_clock(self, base: TimeBase) -> float:
+        if base is TimeBase.OVERWRITES:
+            return float(self.store.pointer_overwrites)
+        if base is TimeBase.ALLOCATED:
+            return float(self.store.bytes_allocated_total)
+        return float(self.store.iostats.application_total)
+
+    def _schedule(self, trigger: Trigger) -> None:
+        self._trigger = trigger
+        self._due_at = self._read_clock(trigger.base) + trigger.interval
+
+    def _collect(self) -> None:
+        if self.collector.collections_performed >= self.config.max_collections:
+            raise RuntimeError(
+                f"exceeded max_collections={self.config.max_collections}; "
+                f"policy {self.policy.describe()} appears pathological"
+            )
+        pid = self.selection.select(self.store)
+        if pid is None:
+            # Nothing collectable; push the deadline forward by re-arming.
+            self._schedule(self._trigger)
+            return
+        result = self.collector.collect(pid)
+        self.store.iostats.mark_collection()
+        ctx = PolicyContext(result=result, store=self.store, iostats=self.store.iostats)
+        trigger = self.policy.next_trigger(ctx)
+        self._record_collection(result, trigger)
+        self._schedule(trigger)
+        if (
+            self.config.validate_every
+            and self.collector.collections_performed % self.config.validate_every == 0
+        ):
+            from repro.storage.validation import validate_store
+
+            validate_store(self.store, strict=True)
+
+    def _record_collection(self, result: CollectionResult, trigger: Trigger) -> None:
+        estimator = getattr(self.policy, "estimator", None)
+        estimated = estimator.estimate(self.store) if estimator is not None else None
+        target = getattr(self.policy, "garbage_fraction", None)
+        self.sampler.on_collection(
+            result,
+            self.store,
+            interval_next=trigger.interval,
+            estimated_garbage_bytes=estimated,
+            target_garbage_fraction=target,
+        )
+
+    # ------------------------------------------------------------------
+    # Quiescence / opportunism
+    # ------------------------------------------------------------------
+
+    def _note_activity(self) -> None:
+        if isinstance(self.policy, OpportunisticPolicy):
+            self.policy.note_activity()
+
+    def _handle_idle(self, ticks: int = 1) -> None:
+        if not isinstance(self.policy, OpportunisticPolicy):
+            return
+        for _tick in range(ticks):
+            if self.policy.note_idle(self.store):
+                self._collect()

@@ -1,0 +1,156 @@
+"""LRU buffer pool with dirty-page write-back and I/O accounting.
+
+The paper (§3.1) sets the I/O buffer to the size of one partition — 12 pages
+of 8 kilobytes — arguing that a much smaller buffer would inflate collector
+I/O while a much larger one would mask the locality benefits of compaction.
+
+Pages are identified by ``(partition, page_index)`` pairs. The pool charges
+one read I/O per miss and one write I/O per dirty eviction or explicit flush,
+attributing each to whichever :class:`~repro.storage.iostats.IOCategory` the
+caller is operating under.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.storage.iostats import IOCategory, IOStats
+from repro.storage.partition import PartitionId
+
+#: A page is addressed by (partition id, page index within the partition).
+PageId = tuple[PartitionId, int]
+
+#: Default page size used throughout the reproduction (8 KB, §3.1).
+DEFAULT_PAGE_SIZE = 8 * 1024
+
+#: Default buffer capacity in pages (12 pages = one 96 KB partition, §3.1).
+DEFAULT_BUFFER_PAGES = 12
+
+
+@dataclass
+class BufferStats:
+    """Cumulative buffer-pool statistics (hits and misses, all categories)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of page accesses served from the buffer (0 if none)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+
+class BufferPool:
+    """A fixed-capacity LRU page buffer.
+
+    Args:
+        capacity: Maximum number of resident pages (must be positive).
+        iostats: Counter sink for read/write I/O operations.
+
+    The pool is deliberately simple — no pinning, no prefetch — mirroring the
+    simulator described in [CWZ93]. Touching a page moves it to the MRU end;
+    evictions come from the LRU end and cost a write I/O when dirty.
+    """
+
+    def __init__(self, capacity: int, iostats: IOStats) -> None:
+        if capacity <= 0:
+            raise ValueError(f"buffer capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._iostats = iostats
+        # Maps page id -> dirty flag; ordering encodes recency (MRU last).
+        self._pages: OrderedDict[PageId, bool] = OrderedDict()
+        self.stats = BufferStats()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page: PageId) -> bool:
+        return page in self._pages
+
+    def touch(self, page: PageId, category: IOCategory, dirty: bool = False) -> bool:
+        """Access ``page``, faulting it in if absent.
+
+        Args:
+            page: The page to access.
+            category: Which I/O ledger (application or collector) pays for any
+                read or eviction write this access causes.
+            dirty: Whether the access modifies the page.
+
+        Returns:
+            True on a buffer hit, False on a miss.
+        """
+        if page in self._pages:
+            self.stats.hits += 1
+            was_dirty = self._pages.pop(page)
+            self._pages[page] = was_dirty or dirty
+            return True
+
+        self.stats.misses += 1
+        self._evict_to(self._capacity - 1, category)
+        self._iostats.record_read(category)
+        self._pages[page] = dirty
+        return False
+
+    def is_dirty(self, page: PageId) -> bool:
+        """Whether a resident page is dirty (False if not resident)."""
+        return self._pages.get(page, False)
+
+    def flush(self, category: IOCategory) -> int:
+        """Write back every dirty page, leaving all pages resident and clean.
+
+        Returns the number of pages written.
+        """
+        written = 0
+        for page, dirty in self._pages.items():
+            if dirty:
+                self._iostats.record_write(category)
+                self._pages[page] = False
+                written += 1
+        return written
+
+    def invalidate_partition(self, pid: PartitionId, category: IOCategory) -> int:
+        """Drop every buffered page of partition ``pid``.
+
+        The collector calls this after compacting a partition: buffered page
+        images are stale because objects moved. Dirty pages are written back
+        first (charged to ``category``) so no updates are lost.
+
+        Returns the number of pages dropped.
+        """
+        victims = [page for page in self._pages if page[0] == pid]
+        for page in victims:
+            if self._pages[page]:
+                self._iostats.record_write(category)
+            del self._pages[page]
+        return len(victims)
+
+    def resident_pages(self) -> Iterable[PageId]:
+        """Snapshot of currently buffered page ids, LRU first."""
+        return list(self._pages)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _evict_to(self, target_len: int, category: IOCategory) -> None:
+        """Evict LRU pages until at most ``target_len`` pages remain."""
+        while len(self._pages) > target_len:
+            _page, dirty = self._pages.popitem(last=False)
+            if dirty:
+                self._iostats.record_write(category)

@@ -1,0 +1,553 @@
+"""The object store: a partitioned, paged database heap.
+
+This is the substrate every policy in the reproduction runs against. It owns
+
+* the set of fixed-size partitions (grown on demand, never collected merely
+  because space ran out — §3.1 decouples growth from collection),
+* object placements (partition + byte offset), from which page residency is
+  derived,
+* the LRU buffer pool through which all application page accesses flow,
+* remembered sets (incoming cross-partition references per partition),
+* pointer-overwrite counters (global, as the policies' time base, and per
+  partition as the FGS state of §2.4 and the UPDATEDPOINTER selection input),
+* exact garbage accounting (``TotGarb`` / ``TotColl`` / ``ActGarb`` of §2.3),
+  fed by the workload's death annotations and consumed by the oracle
+  estimator and by the evaluation metrics.
+
+The store performs *application* operations (create/access/update/pointer
+write). The collector lives in :mod:`repro.gc.collector` and manipulates the
+store through the narrow support API at the bottom of this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.storage.buffer import (
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_PAGE_SIZE,
+    BufferPool,
+    PageId,
+)
+from repro.storage.iostats import IOCategory, IOStats
+from repro.storage.object_model import ObjectId, ObjectKind, StoredObject
+from repro.storage.partition import Partition, PartitionId, Placement
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Geometry and accounting options for the object store.
+
+    Attributes:
+        page_size: Bytes per page (paper: 8 KB).
+        partition_pages: Pages per partition (paper: 12, i.e. 96 KB).
+        buffer_pages: Buffer pool capacity in pages (paper: one partition's
+            worth, 12).
+        db_size_mode: How ``db_size`` is measured. ``"allocated"`` counts the
+            bump-allocated bytes in all partitions (live + uncollected
+            garbage); ``"physical"`` counts full partition capacities. The
+            paper's garbage percentages are relative fractions, for which the
+            allocated measure is the meaningful denominator; physical mode is
+            provided for storage-efficiency studies.
+    """
+
+    page_size: int = DEFAULT_PAGE_SIZE
+    partition_pages: int = DEFAULT_BUFFER_PAGES
+    buffer_pages: int = DEFAULT_BUFFER_PAGES
+    db_size_mode: str = "allocated"
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.partition_pages <= 0:
+            raise ValueError("partition_pages must be positive")
+        if self.buffer_pages <= 0:
+            raise ValueError("buffer_pages must be positive")
+        if self.db_size_mode not in ("allocated", "physical"):
+            raise ValueError(
+                f"db_size_mode must be 'allocated' or 'physical', got {self.db_size_mode!r}"
+            )
+
+    @property
+    def partition_size(self) -> int:
+        """Bytes per partition."""
+        return self.page_size * self.partition_pages
+
+
+@dataclass
+class GarbageAccounts:
+    """Exact (oracle) garbage bookkeeping, in bytes.
+
+    ``actual`` is the paper's ``ActGarb = TotGarb - TotColl``. ``undeclared``
+    counts bytes the collector reclaimed without the workload having declared
+    them dead first; a correct workload generator keeps it at zero (tests
+    assert this), but the store tolerates it by folding such bytes into both
+    totals so the identity above always holds.
+    """
+
+    total_generated: int = 0  # TotGarb(t)
+    total_collected: int = 0  # TotColl(t)
+    undeclared: int = 0
+
+    @property
+    def actual(self) -> int:
+        return self.total_generated - self.total_collected
+
+
+class StoreError(Exception):
+    """Raised on misuse of the object store (unknown oid, double create...)."""
+
+
+class ObjectStore:
+    """A partitioned object database heap with trace-driven semantics."""
+
+    def __init__(self, config: StoreConfig | None = None, iostats: IOStats | None = None) -> None:
+        self.config = config or StoreConfig()
+        self.iostats = iostats or IOStats()
+        self.buffer = BufferPool(self.config.buffer_pages, self.iostats)
+        self.partitions: list[Partition] = []
+        self.objects: dict[ObjectId, StoredObject] = {}
+        self.placements: dict[ObjectId, Placement] = {}
+        self.roots: set[ObjectId] = set()
+        #: Allocation pinning: objects created but not yet referenced by any
+        #: pointer or root registration. The application still holds a handle
+        #: to such objects (it is about to link them), so the collector must
+        #: treat them as roots — otherwise a collection firing between a
+        #: create and the pointer write that links it could reclaim live data.
+        self.unlinked: set[ObjectId] = set()
+        self.garbage = GarbageAccounts()
+        #: Oracle per-partition garbage, in bytes (dead, not yet collected).
+        self.dead_bytes: dict[PartitionId, int] = {}
+        #: Global pointer-overwrite counter — the policies' overwrite clock.
+        self.pointer_overwrites = 0
+        #: Monotone count of bytes ever allocated by the application — the
+        #: allocation clock used by [YNY94]-style trigger policies.
+        self.bytes_allocated_total = 0
+        #: Pointer writes that did not replace an existing non-null pointer.
+        self.pointer_stores = 0
+        self._next_oid: ObjectId = 1
+        # Running totals so db_size stays O(1); it is sampled at every event.
+        self._allocated_bytes = 0
+        self._physical_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Application operations
+    # ------------------------------------------------------------------
+
+    def create(
+        self,
+        size: int,
+        kind: ObjectKind = ObjectKind.GENERIC,
+        pointers: Optional[dict[str, Optional[ObjectId]]] = None,
+        oid: Optional[ObjectId] = None,
+    ) -> ObjectId:
+        """Allocate a new object and initialise its pointer slots.
+
+        Initial pointer values are *stores*, not overwrites — they replace
+        nothing, so they advance neither the overwrite clock nor any
+        partition's FGS counter.
+
+        Returns the new object's id.
+        """
+        if oid is None:
+            oid = self._next_oid
+        if oid in self.objects:
+            raise StoreError(f"object {oid} already exists")
+        self._next_oid = max(self._next_oid, oid + 1)
+
+        obj = StoredObject(oid=oid, size=size, kind=kind)
+        placement = self._place(oid, size)
+        self.bytes_allocated_total += size
+        self.objects[oid] = obj
+        self.placements[oid] = placement
+        self.unlinked.add(oid)
+        self._touch_object_pages(oid, IOCategory.APPLICATION, dirty=True)
+
+        if pointers:
+            for slot, target in pointers.items():
+                if target is not None:
+                    self._validate_target(target)
+                obj.pointers[slot] = target
+                if target is not None:
+                    self.unlinked.discard(target)
+                    self._remember_edge(oid, target)
+        return oid
+
+    def access(self, oid: ObjectId) -> StoredObject:
+        """Read an object (touches its pages clean through the buffer)."""
+        obj = self._require(oid)
+        self._touch_object_pages(oid, IOCategory.APPLICATION, dirty=False)
+        return obj
+
+    def update(self, oid: ObjectId) -> None:
+        """Modify an object's non-pointer data (dirty page touch only)."""
+        self._require(oid)
+        self._touch_object_pages(oid, IOCategory.APPLICATION, dirty=True)
+
+    def write_pointer(
+        self,
+        src: ObjectId,
+        slot: str,
+        target: Optional[ObjectId],
+        dies: Sequence[ObjectId] = (),
+    ) -> None:
+        """Write pointer ``slot`` of ``src`` to ``target``.
+
+        If the slot previously held a non-null pointer this is an *overwrite*:
+        the global overwrite clock advances and the FGS counter of the
+        partition holding the old target is incremented (§2.4: "FGS values of
+        partitions are increased when pointers into those partitions are
+        overwritten").
+
+        ``dies`` lists objects that become globally unreachable as a result of
+        this write; the workload generator computes it constructively and the
+        store uses it only for oracle accounting — never for collection.
+        """
+        src_obj = self._require(src)
+        if target is not None:
+            self._validate_target(target)
+
+        old = src_obj.pointers.get(slot)
+        src_obj.pointers[slot] = target
+        self._touch_object_pages(src, IOCategory.APPLICATION, dirty=True)
+
+        if old is not None:
+            self.pointer_overwrites += 1
+            old_placement = self.placements.get(old)
+            if old_placement is not None:
+                self.partitions[old_placement.partition].pointer_overwrites += 1
+            self._forget_edge(src, old)
+        else:
+            self.pointer_stores += 1
+
+        if target is not None:
+            self.unlinked.discard(target)
+            self._remember_edge(src, target)
+
+        for victim in dies:
+            self._declare_dead(victim)
+
+    def register_root(self, oid: ObjectId) -> None:
+        """Add an object to the database's persistent root set."""
+        self._require(oid)
+        self.roots.add(oid)
+        self.unlinked.discard(oid)
+
+    # ------------------------------------------------------------------
+    # Transaction-rollback support
+    #
+    # These primitives exist for the transaction manager (repro.tx): they
+    # physically revert application operations without advancing the
+    # overwrite clock or FGS counters — an aborted transaction must leave
+    # no trace in the policies' garbage-creation signals.
+    # ------------------------------------------------------------------
+
+    def undo_pointer_write(
+        self,
+        src: ObjectId,
+        slot: str,
+        old_target: Optional[ObjectId],
+        slot_existed: bool,
+    ) -> None:
+        """Physically revert one pointer write (rollback).
+
+        Restores the slot's previous value (or removes a slot that had never
+        been written), fixes remembered sets, and dirties the page — rollback
+        is real I/O — but records neither an overwrite nor a store.
+        """
+        src_obj = self._require(src)
+        current = src_obj.pointers.get(slot)
+        if current is not None:
+            self._forget_edge(src, current)
+        if slot_existed:
+            src_obj.pointers[slot] = old_target
+            if old_target is not None:
+                self._remember_edge(src, old_target)
+        else:
+            src_obj.pointers.pop(slot, None)
+        self._touch_object_pages(src, IOCategory.APPLICATION, dirty=True)
+
+    def resurrect(self, oid: ObjectId) -> None:
+        """Revert a death declaration (the disconnecting write was undone)."""
+        obj = self._require(oid)
+        if not obj.dead:
+            raise StoreError(f"object {oid} is not dead; cannot resurrect")
+        obj.dead = False
+        self.garbage.total_generated -= obj.size
+        pid = self.partition_of(oid)
+        self.dead_bytes[pid] = self.dead_bytes.get(pid, 0) - obj.size
+
+    def expunge(self, oid: ObjectId) -> None:
+        """Remove an object whose creation is being rolled back.
+
+        Unlike collector reclamation this is not garbage collection — the
+        allocation never committed — so no garbage totals change. The
+        object's space is only recovered at the partition's next compaction
+        (bump allocation cannot un-allocate mid-extent).
+        """
+        obj = self._require(oid)
+        if obj.dead:
+            raise StoreError(f"object {oid} is dead; expected a live rollback target")
+        placement = self.placements.pop(oid)
+        del self.objects[oid]
+        partition = self.partitions[placement.partition]
+        partition.residents.discard(oid)
+        if placement.offset + placement.size == partition.fill:
+            # The common rollback case: the newest allocation — reclaim the
+            # tail of the bump extent directly.
+            partition.fill -= placement.size
+            self._allocated_bytes -= placement.size
+        for target in obj.targets():
+            self._forget_edge(oid, target)
+        partition.drop_incoming(oid)
+        self.roots.discard(oid)
+        self.unlinked.discard(oid)
+
+    # ------------------------------------------------------------------
+    # Geometry and metrics
+    # ------------------------------------------------------------------
+
+    def partition_of(self, oid: ObjectId) -> PartitionId:
+        """The partition currently holding ``oid``."""
+        return self._placement(oid).partition
+
+    def placement_of(self, oid: ObjectId) -> Placement:
+        """Current placement (partition, offset, size) of ``oid``."""
+        return self._placement(oid)
+
+    def pages_of(self, oid: ObjectId) -> list[PageId]:
+        """Page ids the object currently spans."""
+        placement = self._placement(oid)
+        return [
+            (placement.partition, index)
+            for index in placement.pages(self.config.page_size)
+        ]
+
+    @property
+    def partition_count(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def db_size(self) -> int:
+        """Database size per the configured measure (see :class:`StoreConfig`)."""
+        if self.config.db_size_mode == "physical":
+            return self._physical_bytes
+        return self._allocated_bytes
+
+    @property
+    def live_bytes(self) -> int:
+        """Bytes of objects not declared dead."""
+        return sum(obj.size for obj in self.objects.values() if not obj.dead)
+
+    @property
+    def actual_garbage_bytes(self) -> int:
+        """Oracle ``ActGarb(t)``: declared-dead bytes not yet reclaimed."""
+        return self.garbage.actual
+
+    @property
+    def garbage_fraction(self) -> float:
+        """Oracle garbage percentage of the database (0 when the DB is empty)."""
+        size = self.db_size
+        if size == 0:
+            return 0.0
+        return self.actual_garbage_bytes / size
+
+    def partition_garbage_bytes(self, pid: PartitionId) -> int:
+        """Oracle declared-dead bytes resident in partition ``pid``."""
+        return self.dead_bytes.get(pid, 0)
+
+    # ------------------------------------------------------------------
+    # Collector support API
+    # ------------------------------------------------------------------
+
+    def partition_roots(self, pid: PartitionId) -> set[ObjectId]:
+        """Conservative root set for collecting partition ``pid``.
+
+        Roots are residents that are (a) in the database root set, or (b)
+        remembered as targets of any external reference. External referents
+        may themselves be garbage in other partitions — that conservatism is
+        inherent to partitioned collection and produces realistic floating
+        garbage.
+        """
+        partition = self.partitions[pid]
+        roots = self.roots & partition.residents
+        roots |= self.unlinked & partition.residents
+        roots |= partition.externally_referenced() & partition.residents
+        return roots
+
+    def intra_partition_targets(self, oid: ObjectId, pid: PartitionId) -> Iterable[ObjectId]:
+        """Non-null pointer targets of ``oid`` that reside in partition ``pid``.
+
+        The collector traverses only these (§3.1: "pointers leaving the
+        collected partition are not traversed").
+        """
+        obj = self._require(oid)
+        for target in obj.targets():
+            placement = self.placements.get(target)
+            if placement is not None and placement.partition == pid:
+                yield target
+
+    def compact_partition(self, pid: PartitionId, survivors: Sequence[ObjectId]) -> int:
+        """Rewrite partition ``pid`` to contain exactly ``survivors`` in order.
+
+        Every resident not in ``survivors`` is reclaimed. Returns the number
+        of bytes reclaimed. The caller (the collector) is responsible for
+        charging I/O and invalidating buffered pages.
+        """
+        partition = self.partitions[pid]
+        survivor_set = set(survivors)
+        unknown = survivor_set - partition.residents
+        if unknown:
+            raise StoreError(f"survivors {sorted(unknown)} are not residents of partition {pid}")
+
+        reclaimed = [oid for oid in partition.residents if oid not in survivor_set]
+        reclaimed_bytes = 0
+        for oid in reclaimed:
+            reclaimed_bytes += self._reclaim(oid, pid)
+
+        fill_before = partition.fill
+        partition.reset_for_compaction()
+        for oid in survivors:
+            self.placements[oid] = partition.allocate(oid, self.objects[oid].size)
+        # The allocated-bytes ledger shrinks by the whole recovered extent:
+        # reclaimed objects plus any holes left by transaction rollbacks.
+        self._allocated_bytes -= fill_before - partition.fill
+        return reclaimed_bytes
+
+    def external_source_pages(self, pid: PartitionId) -> set[PageId]:
+        """Pages of external objects holding pointers into partition ``pid``.
+
+        These pages need a read-modify-write during collection because the
+        objects they reference are relocated by compaction.
+        """
+        pages: set[PageId] = set()
+        for sources in self.partitions[pid].incoming.values():
+            for src in sources:
+                placement = self.placements.get(src)
+                if placement is None:
+                    continue
+                for index in placement.pages(self.config.page_size):
+                    pages.add((placement.partition, index))
+        return pages
+
+    # ------------------------------------------------------------------
+    # Verification helpers (used by tests and oracle baselines)
+    # ------------------------------------------------------------------
+
+    def reachable_from_roots(self) -> set[ObjectId]:
+        """Full-database reachability from the persistent roots."""
+        return self.reachable_from(self.roots)
+
+    def reachable_from(self, roots: Iterable[ObjectId]) -> set[ObjectId]:
+        """Full-database reachability from an arbitrary root set."""
+        seen: set[ObjectId] = set()
+        stack = [oid for oid in roots if oid in self.objects]
+        while stack:
+            oid = stack.pop()
+            if oid in seen:
+                continue
+            seen.add(oid)
+            for target in self.objects[oid].targets():
+                if target not in seen and target in self.objects:
+                    stack.append(target)
+        return seen
+
+    def check_death_annotations(self) -> set[ObjectId]:
+        """Objects whose dead flag disagrees with true global reachability.
+
+        Empty for a correct workload generator. Exposed so integration tests
+        can assert annotation fidelity on real traces.
+        """
+        reachable = self.reachable_from_roots()
+        mismatched: set[ObjectId] = set()
+        for oid, obj in self.objects.items():
+            if obj.dead == (oid in reachable):
+                mismatched.add(oid)
+        return mismatched
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _require(self, oid: ObjectId) -> StoredObject:
+        obj = self.objects.get(oid)
+        if obj is None:
+            raise StoreError(f"unknown object {oid}")
+        return obj
+
+    def _placement(self, oid: ObjectId) -> Placement:
+        placement = self.placements.get(oid)
+        if placement is None:
+            raise StoreError(f"object {oid} has no placement")
+        return placement
+
+    def _validate_target(self, target: ObjectId) -> None:
+        if target not in self.objects:
+            raise StoreError(f"pointer target {target} does not exist")
+
+    def _place(self, oid: ObjectId, size: int) -> Placement:
+        """First-fit placement; grows the database when nothing fits (§3.1)."""
+        self._allocated_bytes += size
+        for partition in self.partitions:
+            if partition.fits(size):
+                return partition.allocate(oid, size)
+        capacity = max(self.config.partition_size, size)
+        partition = Partition(pid=len(self.partitions), capacity=capacity)
+        self.partitions.append(partition)
+        self._physical_bytes += capacity
+        return partition.allocate(oid, size)
+
+    def _touch_object_pages(self, oid: ObjectId, category: IOCategory, dirty: bool) -> None:
+        for page in self.pages_of(oid):
+            self.buffer.touch(page, category, dirty=dirty)
+
+    def _remember_edge(self, src: ObjectId, target: ObjectId) -> None:
+        src_pid = self.partition_of(src)
+        tgt_placement = self.placements.get(target)
+        if tgt_placement is None or tgt_placement.partition == src_pid:
+            return
+        self.partitions[tgt_placement.partition].remember(src, target)
+
+    def _forget_edge(self, src: ObjectId, target: ObjectId) -> None:
+        tgt_placement = self.placements.get(target)
+        if tgt_placement is None:
+            return
+        src_placement = self.placements.get(src)
+        if src_placement is not None and src_placement.partition == tgt_placement.partition:
+            return
+        self.partitions[tgt_placement.partition].forget(src, target)
+
+    def _declare_dead(self, oid: ObjectId) -> None:
+        obj = self.objects.get(oid)
+        if obj is None or obj.dead:
+            return
+        obj.dead = True
+        self.garbage.total_generated += obj.size
+        pid = self.partition_of(oid)
+        self.dead_bytes[pid] = self.dead_bytes.get(pid, 0) + obj.size
+
+    def _reclaim(self, oid: ObjectId, pid: PartitionId) -> int:
+        """Bookkeeping for one object reclaimed by the collector."""
+        obj = self.objects.pop(oid)
+        placement = self.placements.pop(oid)
+        if placement.partition != pid:
+            raise StoreError(f"object {oid} reclaimed from wrong partition")
+
+        if obj.dead:
+            self.dead_bytes[pid] = self.dead_bytes.get(pid, 0) - obj.size
+        else:
+            # The workload never declared this object dead, yet the collector
+            # found it unreachable within its partition. Fold it into both
+            # totals so ActGarb stays consistent, and count it for tests.
+            self.garbage.total_generated += obj.size
+            self.garbage.undeclared += obj.size
+        self.garbage.total_collected += obj.size
+
+        # Sever remembered-set state in both directions.
+        for target in obj.targets():
+            self._forget_edge(oid, target)
+        self.partitions[pid].drop_incoming(oid)
+        self.roots.discard(oid)
+        self.unlinked.discard(oid)
+        return obj.size

@@ -1,0 +1,157 @@
+"""I/O operation accounting, split between application and collector.
+
+The SAIO policy (§2.2) controls the *fraction* of I/O operations performed on
+behalf of garbage collection, so the store keeps two ledgers: ``APPLICATION``
+and ``COLLECTOR``. Every page read or write is charged to exactly one ledger.
+
+:class:`IOStats` also keeps a per-collection history of both ledgers, which is
+what SAIO's ``c_hist`` history window is computed over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class IOCategory(enum.Enum):
+    """Which ledger an I/O operation is charged to."""
+
+    APPLICATION = "application"
+    COLLECTOR = "collector"
+
+
+@dataclass
+class IOLedger:
+    """Read/write counters for one I/O category."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def copy(self) -> "IOLedger":
+        return IOLedger(reads=self.reads, writes=self.writes)
+
+
+@dataclass
+class CollectionIORecord:
+    """I/O activity between two successive collections.
+
+    ``app`` counts application I/O performed since the previous collection
+    finished; ``gc`` counts the I/O the collection itself performed. Together
+    these are the ``AppIO`` / ``GCIO`` interval histories of §2.2.
+    """
+
+    collection_number: int
+    app: int
+    gc: int
+
+    @property
+    def total(self) -> int:
+        return self.app + self.gc
+
+    @property
+    def gc_fraction(self) -> float:
+        """GC share of the interval's I/O (0 when the interval saw no I/O)."""
+        if self.total == 0:
+            return 0.0
+        return self.gc / self.total
+
+
+class IOStats:
+    """Central I/O counter with per-collection interval history."""
+
+    def __init__(self) -> None:
+        self._ledgers = {category: IOLedger() for category in IOCategory}
+        self.history: list[CollectionIORecord] = []
+        self._app_at_last_mark = 0
+        self._gc_at_last_mark = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_read(self, category: IOCategory, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"I/O count must be non-negative, got {count}")
+        self._ledgers[category].reads += count
+
+    def record_write(self, category: IOCategory, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"I/O count must be non-negative, got {count}")
+        self._ledgers[category].writes += count
+
+    def mark_collection(self) -> CollectionIORecord:
+        """Close the current inter-collection interval and start a new one.
+
+        Called by the simulator immediately after each collection completes.
+        """
+        app_now = self.application_total
+        gc_now = self.collector_total
+        record = CollectionIORecord(
+            collection_number=len(self.history),
+            app=app_now - self._app_at_last_mark,
+            gc=gc_now - self._gc_at_last_mark,
+        )
+        self.history.append(record)
+        self._app_at_last_mark = app_now
+        self._gc_at_last_mark = gc_now
+        return record
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+
+    @property
+    def application(self) -> IOLedger:
+        return self._ledgers[IOCategory.APPLICATION]
+
+    @property
+    def collector(self) -> IOLedger:
+        return self._ledgers[IOCategory.COLLECTOR]
+
+    @property
+    def application_total(self) -> int:
+        return self.application.total
+
+    @property
+    def collector_total(self) -> int:
+        return self.collector.total
+
+    @property
+    def grand_total(self) -> int:
+        return self.application_total + self.collector_total
+
+    @property
+    def collector_fraction(self) -> float:
+        """Cumulative GC share of all I/O so far (0 when no I/O yet)."""
+        if self.grand_total == 0:
+            return 0.0
+        return self.collector_total / self.grand_total
+
+    # ------------------------------------------------------------------
+    # Windowed views (for SAIO's history parameter)
+    # ------------------------------------------------------------------
+
+    def window(self, collections: int) -> tuple[int, int]:
+        """Sum (app, gc) I/O over the last ``collections`` closed intervals.
+
+        ``collections == 0`` returns ``(0, 0)``: SAIO with ``c_hist = 0`` uses
+        only the prediction for the upcoming interval.
+        """
+        if collections < 0:
+            raise ValueError(f"window size must be non-negative, got {collections}")
+        if collections == 0 or not self.history:
+            return (0, 0)
+        recent = self.history[-collections:]
+        return (sum(r.app for r in recent), sum(r.gc for r in recent))
+
+    def since_last_collection(self) -> tuple[int, int]:
+        """(app, gc) I/O performed since the last ``mark_collection`` call."""
+        return (
+            self.application_total - self._app_at_last_mark,
+            self.collector_total - self._gc_at_last_mark,
+        )

@@ -1,0 +1,88 @@
+"""Logical object model for the simulated object database.
+
+The simulator manipulates *stored objects*: fixed-size byte blobs with named
+pointer slots. An object's identity is an :class:`ObjectId` that never changes,
+even when the copying collector relocates the object within its partition.
+
+Objects here carry no application payload — only the attributes the storage
+layer and the garbage collector care about: a size in bytes, a kind tag (used
+by workload generators and reports), and a mapping of pointer-slot names to
+target object ids.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+#: Object identifiers are plain integers, allocated sequentially by the store.
+ObjectId = int
+
+
+class ObjectKind(enum.Enum):
+    """Kind tag for stored objects.
+
+    The storage layer treats all kinds identically; kinds exist so that
+    workload generators, reports, and tests can reason about what a given
+    object represents in the OO7 schema (or in synthetic workloads).
+    """
+
+    MODULE = "module"
+    MANUAL = "manual"
+    ASSEMBLY = "assembly"
+    COMPOSITE_PART = "composite_part"
+    DOCUMENT = "document"
+    ATOMIC_PART = "atomic_part"
+    CONNECTION = "connection"
+    GENERIC = "generic"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ObjectKind.{self.name}"
+
+
+@dataclass
+class StoredObject:
+    """A single object resident in the database heap.
+
+    Attributes:
+        oid: Immutable identity of the object.
+        size: Size of the object in bytes (includes its pointer slots).
+        kind: Schema kind tag (informational).
+        pointers: Mapping from slot name to target ``ObjectId``. A slot that
+            holds ``None`` is an explicit null pointer; absent slots have never
+            been written.
+        dead: Set by the store when the workload declares the object globally
+            unreachable. The collector never reads this flag — it is oracle
+            state used for exact garbage accounting.
+    """
+
+    oid: ObjectId
+    size: int
+    kind: ObjectKind = ObjectKind.GENERIC
+    pointers: dict[str, Optional[ObjectId]] = field(default_factory=dict)
+    dead: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"object size must be positive, got {self.size}")
+
+    def targets(self) -> Iterator[ObjectId]:
+        """Iterate over the non-null pointer targets of this object."""
+        for target in self.pointers.values():
+            if target is not None:
+                yield target
+
+    def slot_count(self) -> int:
+        """Number of pointer slots that have ever been written."""
+        return len(self.pointers)
+
+    def points_to(self, oid: ObjectId) -> bool:
+        """Return True if any slot of this object targets ``oid``.
+
+        Null slots never match — a null pointer is not a reference, even when
+        asked about ``None``.
+        """
+        if oid is None:
+            return False
+        return any(target == oid for target in self.pointers.values())

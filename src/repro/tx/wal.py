@@ -1,0 +1,105 @@
+"""Write-ahead logging for the transaction layer.
+
+The paper's simulator assumes "logging for recovery is not supported"
+(§3.2) while noting real implementations need it. This module models the
+I/O cost of that support, ARIES-style in miniature:
+
+* every transactional operation appends a log record (sized by its type);
+* records accumulate in a log tail buffer of one page; each filled page is
+  written out — charged as **application** I/O, since logging is work done
+  on the application's behalf (which is exactly how it competes with the
+  collector under a SAIO budget);
+* ``commit`` forces the log: the partially filled tail page is written too;
+* ``abort`` appends compensation log records (CLRs) for the undone
+  operations and forces — rollback is not free.
+
+The log models cost and bookkeeping, not crash recovery itself: the
+simulator never crashes mid-run, so redo/undo replay would be dead code.
+What matters to the paper's policies is the I/O the log adds, and that is
+modelled faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.iostats import IOCategory, IOStats
+
+#: Modelled record sizes in bytes (header + payload, rounded generously).
+RECORD_SIZES = {
+    "begin": 16,
+    "commit": 16,
+    "abort": 16,
+    "create": 48,
+    "write": 40,
+    "root": 20,
+    "update": 24,
+    "clr": 40,
+}
+
+
+@dataclass
+class WalStats:
+    """Cumulative write-ahead-log statistics."""
+
+    records: int = 0
+    bytes_logged: int = 0
+    pages_written: int = 0
+    forces: int = 0
+    records_by_type: dict[str, int] = field(default_factory=dict)
+
+
+class WriteAheadLog:
+    """A byte-counting WAL with page-granular forced writes.
+
+    Args:
+        iostats: Counter sink; page writes are charged as application I/O.
+        page_size: Log page size in bytes (defaults to the store's 8 KB).
+    """
+
+    def __init__(self, iostats: IOStats, page_size: int = 8 * 1024) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self._iostats = iostats
+        self.page_size = page_size
+        self.stats = WalStats()
+        self._tail_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(self, record_type: str) -> None:
+        """Append one record of ``record_type`` to the log tail."""
+        try:
+            size = RECORD_SIZES[record_type]
+        except KeyError:
+            raise ValueError(
+                f"unknown log record type {record_type!r}; "
+                f"choose from {sorted(RECORD_SIZES)}"
+            ) from None
+        self.stats.records += 1
+        self.stats.bytes_logged += size
+        self.stats.records_by_type[record_type] = (
+            self.stats.records_by_type.get(record_type, 0) + 1
+        )
+        self._tail_bytes += size
+        while self._tail_bytes >= self.page_size:
+            self._tail_bytes -= self.page_size
+            self._write_page()
+
+    def force(self) -> None:
+        """Flush the partially filled tail page (commit/abort durability)."""
+        self.stats.forces += 1
+        if self._tail_bytes > 0:
+            self._tail_bytes = 0
+            self._write_page()
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered in the unwritten tail page."""
+        return self._tail_bytes
+
+    def _write_page(self) -> None:
+        self.stats.pages_written += 1
+        self._iostats.record_write(IOCategory.APPLICATION)

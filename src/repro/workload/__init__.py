@@ -1,0 +1,70 @@
+"""Workloads: trace events, the OO7 test application, synthetic generators."""
+
+from repro.workload.application import Oo7Application
+from repro.events import (
+    AccessEvent,
+    CreateEvent,
+    IdleEvent,
+    PhaseMarkerEvent,
+    PointerWriteEvent,
+    RootEvent,
+    TraceEvent,
+    TraceStats,
+    UpdateEvent,
+    iterate_trace,
+    trace_stats,
+)
+from repro.workload.phases import (
+    PHASE_GENDB,
+    PHASE_ORDER,
+    PHASE_REORG1,
+    PHASE_REORG2,
+    PHASE_TRAVERSE,
+    doc_churn_phase,
+    gen_db_phase,
+    reorg1_phase,
+    reorg2_phase,
+    traverse_phase,
+)
+from repro.workload.presets import PRESETS, make_preset
+from repro.workload.synthetic import SyntheticPhase, SyntheticWorkload
+from repro.workload.transactional import TransactionalSpec, TransactionalWorkload
+from repro.workload.tracefile import (
+    TraceFormatError,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "AccessEvent",
+    "CreateEvent",
+    "IdleEvent",
+    "Oo7Application",
+    "PHASE_GENDB",
+    "PHASE_ORDER",
+    "PHASE_REORG1",
+    "PHASE_REORG2",
+    "PHASE_TRAVERSE",
+    "PRESETS",
+    "PhaseMarkerEvent",
+    "PointerWriteEvent",
+    "RootEvent",
+    "SyntheticPhase",
+    "SyntheticWorkload",
+    "TraceEvent",
+    "TraceFormatError",
+    "TransactionalSpec",
+    "TransactionalWorkload",
+    "TraceStats",
+    "UpdateEvent",
+    "doc_churn_phase",
+    "gen_db_phase",
+    "iterate_trace",
+    "make_preset",
+    "reorg1_phase",
+    "reorg2_phase",
+    "read_trace",
+    "trace_stats",
+    "traverse_phase",
+    "write_trace",
+]

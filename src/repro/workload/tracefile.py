@@ -1,0 +1,152 @@
+"""Trace serialization: write and replay event streams as files.
+
+The original system was driven by traces of database application events
+captured to files [CWZ93]. This module provides the equivalent: a compact
+line-oriented JSON format so traces can be generated once, inspected,
+shipped, and replayed many times (or fed to other tools).
+
+Format: one JSON object per line with a ``t`` type tag::
+
+    {"t": "phase", "name": "GenDB"}
+    {"t": "create", "oid": 1, "size": 80, "kind": "module", "ptrs": [["doc", 7]]}
+    {"t": "root", "oid": 1}
+    {"t": "access", "oid": 12}
+    {"t": "update", "oid": 12}
+    {"t": "write", "src": 3, "slot": "part0", "target": null, "dies": [9, 10]}
+    {"t": "idle", "ticks": 1}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from repro.events import (
+    AbortTransactionEvent,
+    AccessEvent,
+    BeginTransactionEvent,
+    CommitTransactionEvent,
+    CreateEvent,
+    IdleEvent,
+    PhaseMarkerEvent,
+    PointerWriteEvent,
+    RootEvent,
+    TraceEvent,
+    UpdateEvent,
+)
+from repro.storage.object_model import ObjectKind
+
+
+class TraceFormatError(Exception):
+    """Raised when a trace file contains malformed or unknown records."""
+
+
+def event_to_record(event: TraceEvent) -> dict:
+    """Convert one event to its JSON-serialisable record."""
+    if isinstance(event, CreateEvent):
+        return {
+            "t": "create",
+            "oid": event.oid,
+            "size": event.size,
+            "kind": event.kind.value,
+            "ptrs": [[slot, target] for slot, target in event.pointers],
+        }
+    if isinstance(event, AccessEvent):
+        return {"t": "access", "oid": event.oid}
+    if isinstance(event, UpdateEvent):
+        return {"t": "update", "oid": event.oid}
+    if isinstance(event, PointerWriteEvent):
+        return {
+            "t": "write",
+            "src": event.src,
+            "slot": event.slot,
+            "target": event.target,
+            "dies": list(event.dies),
+        }
+    if isinstance(event, RootEvent):
+        return {"t": "root", "oid": event.oid}
+    if isinstance(event, PhaseMarkerEvent):
+        return {"t": "phase", "name": event.name}
+    if isinstance(event, IdleEvent):
+        return {"t": "idle", "ticks": event.ticks}
+    if isinstance(event, BeginTransactionEvent):
+        return {"t": "begin", "txid": event.txid}
+    if isinstance(event, CommitTransactionEvent):
+        return {"t": "commit", "txid": event.txid}
+    if isinstance(event, AbortTransactionEvent):
+        return {"t": "abort", "txid": event.txid}
+    raise TraceFormatError(f"cannot serialise event {event!r}")
+
+
+def record_to_event(record: dict) -> TraceEvent:
+    """Convert one JSON record back to an event."""
+    try:
+        tag = record["t"]
+        if tag == "create":
+            return CreateEvent(
+                oid=record["oid"],
+                size=record["size"],
+                kind=ObjectKind(record.get("kind", "generic")),
+                pointers=tuple(
+                    (slot, target) for slot, target in record.get("ptrs", [])
+                ),
+            )
+        if tag == "access":
+            return AccessEvent(oid=record["oid"])
+        if tag == "update":
+            return UpdateEvent(oid=record["oid"])
+        if tag == "write":
+            return PointerWriteEvent(
+                src=record["src"],
+                slot=record["slot"],
+                target=record["target"],
+                dies=tuple(record.get("dies", [])),
+            )
+        if tag == "root":
+            return RootEvent(oid=record["oid"])
+        if tag == "phase":
+            return PhaseMarkerEvent(name=record["name"])
+        if tag == "idle":
+            return IdleEvent(ticks=record.get("ticks", 1))
+        if tag == "begin":
+            return BeginTransactionEvent(txid=record["txid"])
+        if tag == "commit":
+            return CommitTransactionEvent(txid=record["txid"])
+        if tag == "abort":
+            return AbortTransactionEvent(txid=record["txid"])
+    except (KeyError, ValueError, TypeError) as exc:
+        raise TraceFormatError(f"malformed trace record {record!r}: {exc}") from exc
+    raise TraceFormatError(f"unknown trace record type {tag!r}")
+
+
+def write_trace(events: Iterable[TraceEvent], target: Union[str, Path, IO[str]]) -> int:
+    """Write an event stream to a trace file; returns the event count."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            return write_trace(events, handle)
+    count = 0
+    for event in events:
+        target.write(json.dumps(event_to_record(event), separators=(",", ":")))
+        target.write("\n")
+        count += 1
+    return count
+
+
+def read_trace(source: Union[str, Path, IO[str]]) -> Iterator[TraceEvent]:
+    """Lazily read events back from a trace file."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            yield from read_trace(handle)
+            return
+    for line_number, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"line {line_number}: invalid JSON: {exc}"
+            ) from exc
+        yield record_to_event(record)

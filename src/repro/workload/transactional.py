@@ -1,0 +1,165 @@
+"""Transactional synthetic workloads.
+
+Wraps the linked-cluster operations of
+:class:`~repro.workload.synthetic.SyntheticWorkload` in transactions with a
+configurable abort rate. The generator keeps its own cluster bookkeeping
+transactional too: when it decides a transaction will abort, it snapshots
+its logical state at ``begin`` and restores it at ``abort``, so the trace
+remains consistent with the (rolled-back) database.
+
+This is the workload the transaction substrate is evaluated with: aborted
+deletions *resurrect* objects (their garbage never existed), aborted
+creations vanish, and garbage collection only runs between transactions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.events import (
+    AbortTransactionEvent,
+    BeginTransactionEvent,
+    CommitTransactionEvent,
+    CreateEvent,
+    PhaseMarkerEvent,
+    PointerWriteEvent,
+    RootEvent,
+    TraceEvent,
+)
+from repro.storage.object_model import ObjectId, ObjectKind
+
+
+@dataclass(frozen=True)
+class TransactionalSpec:
+    """Shape of a transactional churn workload.
+
+    Attributes:
+        transactions: Number of transactions to run.
+        ops_per_transaction: Cluster operations per transaction.
+        abort_probability: Chance a transaction ends in abort.
+        cluster_size: Members per cluster.
+        object_size: Bytes per member object.
+    """
+
+    transactions: int = 100
+    ops_per_transaction: int = 4
+    abort_probability: float = 0.2
+    cluster_size: int = 6
+    object_size: int = 120
+
+    def __post_init__(self) -> None:
+        if self.transactions < 1:
+            raise ValueError("transactions must be >= 1")
+        if self.ops_per_transaction < 1:
+            raise ValueError("ops_per_transaction must be >= 1")
+        if not 0.0 <= self.abort_probability <= 1.0:
+            raise ValueError("abort_probability must be in [0, 1]")
+        if self.cluster_size < 1 or self.object_size < 1:
+            raise ValueError("cluster_size and object_size must be >= 1")
+
+
+@dataclass(eq=False)
+class _Cluster:
+    slot: str
+    members: tuple[ObjectId, ...]
+
+
+class TransactionalWorkload:
+    """Generates a transactional churn trace over linked clusters."""
+
+    def __init__(
+        self,
+        spec: TransactionalSpec,
+        seed: int = 0,
+        initial_clusters: int = 40,
+    ) -> None:
+        if initial_clusters < 0:
+            raise ValueError("initial_clusters must be non-negative")
+        self.spec = spec
+        self.rng = random.Random(seed)
+        self.initial_clusters = initial_clusters
+        self._next_oid: ObjectId = 1
+        self._next_slot = 0
+        self.registry_oid: Optional[ObjectId] = None
+        self.clusters: list[_Cluster] = []
+        self.aborted_transactions = 0
+        self.committed_transactions = 0
+
+    # ------------------------------------------------------------------
+    # Trace generation
+    # ------------------------------------------------------------------
+
+    def events(self) -> Iterator[TraceEvent]:
+        yield PhaseMarkerEvent("tx-setup")
+        self.registry_oid = self._new_oid()
+        yield CreateEvent(self.registry_oid, 64, ObjectKind.GENERIC)
+        yield RootEvent(self.registry_oid)
+        for _ in range(self.initial_clusters):
+            yield from self._create_cluster()
+
+        yield PhaseMarkerEvent("tx-churn")
+        for txid in range(1, self.spec.transactions + 1):
+            will_abort = self.rng.random() < self.spec.abort_probability
+            snapshot = self._snapshot() if will_abort else None
+
+            yield BeginTransactionEvent(txid)
+            for _ in range(self.spec.ops_per_transaction):
+                if self.clusters and self.rng.random() < 0.5:
+                    yield from self._delete_cluster()
+                else:
+                    yield from self._create_cluster()
+            if will_abort:
+                yield AbortTransactionEvent(txid)
+                self._restore(snapshot)
+                self.aborted_transactions += 1
+            else:
+                yield CommitTransactionEvent(txid)
+                self.committed_transactions += 1
+
+    # ------------------------------------------------------------------
+    # Cluster operations (same shapes as SyntheticWorkload)
+    # ------------------------------------------------------------------
+
+    def _new_oid(self) -> ObjectId:
+        oid = self._next_oid
+        self._next_oid += 1
+        return oid
+
+    def _create_cluster(self) -> Iterator[TraceEvent]:
+        members: list[ObjectId] = []
+        successor: Optional[ObjectId] = None
+        for _ in range(self.spec.cluster_size):
+            oid = self._new_oid()
+            pointers = (("next", successor),) if successor is not None else ()
+            yield CreateEvent(oid, self.spec.object_size, ObjectKind.GENERIC, pointers=pointers)
+            members.append(oid)
+            successor = oid
+        members.reverse()
+        slot = f"cluster{self._next_slot}"
+        self._next_slot += 1
+        yield PointerWriteEvent(self.registry_oid, slot, members[0])
+        self.clusters.append(_Cluster(slot=slot, members=tuple(members)))
+
+    def _delete_cluster(self) -> Iterator[TraceEvent]:
+        cluster = self.clusters.pop(self.rng.randrange(len(self.clusters)))
+        yield PointerWriteEvent(
+            self.registry_oid, cluster.slot, None, dies=cluster.members
+        )
+
+    # ------------------------------------------------------------------
+    # Logical-state snapshots for aborted transactions
+    # ------------------------------------------------------------------
+
+    def _snapshot(self):
+        return (list(self.clusters), self._next_oid, self._next_slot)
+
+    def _restore(self, snapshot) -> None:
+        clusters, next_oid, next_slot = snapshot
+        self.clusters = clusters
+        # Oids and slots of rolled-back objects are NOT reused: the store
+        # forbids recreating an existing oid, and within one run fresh ids
+        # keep the trace unambiguous.
+        self._next_oid = max(self._next_oid, next_oid)
+        self._next_slot = max(self._next_slot, next_slot)

@@ -1,0 +1,152 @@
+"""Validate the steady-state models against actual simulations.
+
+The models claim factor-of-two accuracy; these tests hold them to it on a
+mid-sized OO7 instance.
+"""
+
+import pytest
+
+from repro.analysis.steady_state import (
+    WorkloadModel,
+    expected_collections,
+    fixed_rate_garbage_fraction,
+    fixed_rate_yield,
+    saga_interval,
+    saga_sawtooth_mean,
+    saio_interval,
+)
+from repro.core.estimators import OracleEstimator
+from repro.core.fixed import FixedRatePolicy
+from repro.core.saga import SagaPolicy
+from repro.core.saio import SaioPolicy
+from repro.events import trace_stats
+from repro.oo7.config import OO7Config
+from repro.sim.simulator import Simulation, SimulationConfig
+from repro.workload.application import Oo7Application
+
+CONFIG = OO7Config(
+    num_atomic_per_comp=15,
+    num_comp_per_module=60,
+    num_assm_levels=4,
+    manual_size=32 * 1024,
+)
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """One fixed-rate reference run plus the workload constants."""
+    stats = trace_stats(Oo7Application(CONFIG, seed=0).events())
+    sim = Simulation(
+        policy=FixedRatePolicy(200),
+        config=SimulationConfig(preamble_collections=5),
+    )
+    result = sim.run(Oo7Application(CONFIG, seed=0).events())
+    return stats, result
+
+
+# ----------------------------------------------------------------------
+# Pure-algebra checks
+# ----------------------------------------------------------------------
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        WorkloadModel(garbage_per_overwrite=-1, db_size=100, partitions=2)
+    with pytest.raises(ValueError):
+        WorkloadModel(garbage_per_overwrite=1, db_size=0, partitions=2)
+    with pytest.raises(ValueError):
+        WorkloadModel(garbage_per_overwrite=1, db_size=100, partitions=0)
+
+
+def test_saio_interval_matches_policy_algebra():
+    from repro.storage.iostats import IOStats
+
+    policy = SaioPolicy(io_fraction=0.25, c_hist=0)
+    assert saio_interval(100, 0.25) == pytest.approx(
+        policy.compute_interval(100, IOStats())
+    )
+
+
+def test_expected_collections():
+    assert expected_collections(10_000, 200) == pytest.approx(50.0)
+    with pytest.raises(ValueError):
+        expected_collections(10_000, 0)
+
+
+def test_sawtooth_mean_above_target():
+    assert saga_sawtooth_mean(0.10, mean_yield=20_000, db_size=1_000_000) == pytest.approx(
+        0.11
+    )
+
+
+# ----------------------------------------------------------------------
+# Model-vs-simulator checks (factor-of-two contract)
+# ----------------------------------------------------------------------
+
+
+def test_fixed_rate_yield_prediction(measured):
+    stats, result = measured
+    model = WorkloadModel(
+        garbage_per_overwrite=stats.garbage_per_overwrite,
+        db_size=result.summary.final_db_size,
+        partitions=result.summary.final_partitions,
+    )
+    predicted = fixed_rate_yield(model, 200)
+    records = result.collections[5:]
+    mean_yield = sum(r.reclaimed_bytes for r in records) / len(records)
+    assert predicted == pytest.approx(mean_yield, rel=0.5)
+
+
+def test_fixed_rate_garbage_prediction(measured):
+    stats, result = measured
+    model = WorkloadModel(
+        garbage_per_overwrite=stats.garbage_per_overwrite,
+        db_size=result.summary.final_db_size,
+        partitions=result.summary.final_partitions,
+    )
+    predicted = fixed_rate_garbage_fraction(model, 200)
+    achieved = result.summary.garbage_fraction_mean
+    assert predicted == pytest.approx(achieved, rel=1.0)  # within 2x
+
+
+def test_collection_count_prediction(measured):
+    stats, result = measured
+    predicted = expected_collections(stats.pointer_overwrites, 200)
+    assert predicted == pytest.approx(result.summary.collections, rel=0.25)
+
+
+def test_saga_interval_prediction():
+    sim = Simulation(
+        policy=SagaPolicy(garbage_fraction=0.10, estimator=OracleEstimator()),
+        config=SimulationConfig(preamble_collections=5),
+    )
+    result = sim.run(Oo7Application(CONFIG, seed=0).events())
+    records = result.collections[5:]
+    assert len(records) > 5
+    mean_yield = sum(r.reclaimed_bytes for r in records) / len(records)
+    stats = trace_stats(Oo7Application(CONFIG, seed=0).events())
+    model = WorkloadModel(
+        garbage_per_overwrite=stats.garbage_per_overwrite,
+        db_size=result.summary.final_db_size,
+        partitions=result.summary.final_partitions,
+    )
+    predicted = saga_interval(model, mean_yield)
+    clocks = [r.overwrite_clock for r in records]
+    mean_interval = (clocks[-1] - clocks[0]) / max(1, len(clocks) - 1)
+    assert predicted == pytest.approx(mean_interval, rel=1.0)
+
+
+def test_saga_sawtooth_prediction():
+    sim = Simulation(
+        policy=SagaPolicy(garbage_fraction=0.15, estimator=OracleEstimator()),
+        config=SimulationConfig(preamble_collections=5),
+    )
+    result = sim.run(Oo7Application(CONFIG, seed=0).events())
+    records = result.collections[5:]
+    mean_yield = sum(r.reclaimed_bytes for r in records) / len(records)
+    predicted = saga_sawtooth_mean(
+        0.15, mean_yield, result.summary.final_db_size
+    )
+    achieved = result.summary.garbage_fraction_mean
+    # The model explains the direction and rough size of the offset.
+    assert achieved == pytest.approx(predicted, abs=0.05)

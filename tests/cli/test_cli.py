@@ -1,0 +1,58 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in output
+
+
+def test_experiment_registry_is_complete():
+    expected = {
+        "table1",
+        "figure1",
+        "figure4",
+        "figure5",
+        "figure6",
+        "figure7",
+        "figure8",
+        "describe",
+        "ablation-clock",
+        "ablation-clustering",
+        "ablation-estimators",
+        "ablation-fixed",
+        "ablation-history",
+        "ablation-selection",
+        "ablation-weight",
+    }
+    assert set(EXPERIMENTS) == expected
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["figure99"])
+
+
+def test_run_single_experiment_with_seeds(capsys):
+    assert main(["table1", "--seeds", "0"]) == 0
+    output = capsys.readouterr().out
+    assert "Table 1" in output
+    assert "completed in" in output
+
+
+def test_out_file_written(tmp_path, capsys):
+    target = tmp_path / "report.txt"
+    assert main(["table1", "--out", str(target)]) == 0
+    assert target.exists()
+    assert "Table 1" in target.read_text()
+
+
+def test_out_dir_written(tmp_path, capsys):
+    out_dir = tmp_path / "reports"
+    assert main(["table1", "--out-dir", str(out_dir)]) == 0
+    assert (out_dir / "table1.txt").exists()

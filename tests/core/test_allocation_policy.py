@@ -1,0 +1,69 @@
+"""Tests for the [YNY94]-style allocation-triggered baseline policy."""
+
+import pytest
+
+from repro.core.fixed import AllocationRatePolicy
+from repro.core.rate_policy import TimeBase
+from repro.events import CreateEvent, PhaseMarkerEvent, PointerWriteEvent, RootEvent
+from repro.sim.simulator import Simulation, SimulationConfig
+from repro.storage.heap import ObjectStore, StoreConfig
+from repro.storage.iostats import IOStats
+
+TINY_STORE = StoreConfig(page_size=2048, partition_pages=4, buffer_pages=4)
+
+
+def test_validates_positive_rate():
+    with pytest.raises(ValueError):
+        AllocationRatePolicy(0)
+
+
+def test_time_base_is_allocation():
+    assert AllocationRatePolicy(1000).time_base is TimeBase.ALLOCATED
+
+
+def test_triggers_are_constant():
+    policy = AllocationRatePolicy(4096)
+    first = policy.first_trigger(ObjectStore(), IOStats())
+    assert first.base is TimeBase.ALLOCATED
+    assert first.interval == 4096
+
+
+def test_store_tracks_monotone_allocation_clock():
+    store = ObjectStore(TINY_STORE)
+    root = store.create(size=100)
+    store.register_root(root)
+    assert store.bytes_allocated_total == 100
+    victim = store.create(size=50)
+    store.write_pointer(root, "x", victim)
+    store.write_pointer(root, "x", None, dies=[victim])
+    store.compact_partition(0, [root])
+    # Reclamation/compaction must NOT rewind the allocation clock.
+    assert store.bytes_allocated_total == 150
+
+
+def test_allocation_clock_triggers_collections_without_overwrites():
+    """A pure-allocation trace (no overwrites at all) still triggers the
+    allocation-rate policy — the exact failure mode §2 warns about."""
+
+    def allocation_only():
+        yield PhaseMarkerEvent("load")
+        yield CreateEvent(1, 64)
+        yield RootEvent(1)
+        for index in range(200):
+            oid = 2 + index
+            yield CreateEvent(oid, 512)
+            yield PointerWriteEvent(1, f"s{index}", oid)
+
+    sim = Simulation(
+        policy=AllocationRatePolicy(8 * 1024),
+        config=SimulationConfig(store=TINY_STORE, preamble_collections=0),
+    )
+    result = sim.run(allocation_only())
+    assert result.store.pointer_overwrites == 0
+    assert result.summary.collections >= 10
+    # Every one of those collections reclaimed nothing.
+    assert result.summary.total_reclaimed_bytes == 0
+
+
+def test_describe():
+    assert "allocation-rate" in AllocationRatePolicy(1000).describe()

@@ -1,0 +1,177 @@
+"""Unit and property tests for the control-theory primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.control import ExponentialMean, SmoothedSlopeEstimator, clamp
+
+
+# ----------------------------------------------------------------------
+# clamp
+# ----------------------------------------------------------------------
+
+
+def test_clamp_basic():
+    assert clamp(5.0, 0.0, 10.0) == 5.0
+    assert clamp(-1.0, 0.0, 10.0) == 0.0
+    assert clamp(11.0, 0.0, 10.0) == 10.0
+
+
+def test_clamp_rejects_inverted_interval():
+    with pytest.raises(ValueError):
+        clamp(1.0, 5.0, 2.0)
+
+
+@given(
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.floats(min_value=-1e6, max_value=1e6),
+    st.floats(min_value=0.0, max_value=1e6),
+)
+def test_clamp_always_within_bounds(value, low, width):
+    high = low + width
+    result = clamp(value, low, high)
+    assert low <= result <= high
+
+
+# ----------------------------------------------------------------------
+# ExponentialMean
+# ----------------------------------------------------------------------
+
+
+def test_exponential_mean_validates_history():
+    with pytest.raises(ValueError):
+        ExponentialMean(-0.1)
+    with pytest.raises(ValueError):
+        ExponentialMean(1.1)
+
+
+def test_exponential_mean_first_sample_initialises_directly():
+    mean = ExponentialMean(0.9)
+    assert mean.value is None
+    assert not mean.initialized
+    assert mean.update(10.0) == 10.0
+    assert mean.initialized
+
+
+def test_exponential_mean_update_formula():
+    mean = ExponentialMean(0.8)
+    mean.update(10.0)
+    # 0.8 * 10 + 0.2 * 20 = 12
+    assert mean.update(20.0) == pytest.approx(12.0)
+
+
+def test_history_one_ignores_new_samples():
+    mean = ExponentialMean(1.0)
+    mean.update(5.0)
+    mean.update(100.0)
+    assert mean.value == pytest.approx(5.0)
+
+
+def test_history_zero_tracks_latest_sample():
+    mean = ExponentialMean(0.0)
+    mean.update(5.0)
+    mean.update(100.0)
+    assert mean.value == pytest.approx(100.0)
+
+
+def test_reset_clears_state():
+    mean = ExponentialMean(0.5)
+    mean.update(5.0)
+    mean.reset()
+    assert mean.value is None
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.lists(st.floats(min_value=-1e4, max_value=1e4), min_size=1, max_size=50),
+)
+def test_exponential_mean_stays_within_sample_range(history, samples):
+    """The smoothed value is always within [min(samples), max(samples)]."""
+    mean = ExponentialMean(history)
+    for sample in samples:
+        mean.update(sample)
+        assert min(samples) - 1e-6 <= mean.value <= max(samples) + 1e-6
+
+
+# ----------------------------------------------------------------------
+# SmoothedSlopeEstimator
+# ----------------------------------------------------------------------
+
+
+def test_slope_validates_weight():
+    with pytest.raises(ValueError):
+        SmoothedSlopeEstimator(weight=1.5)
+
+
+def test_slope_none_before_two_observations():
+    estimator = SmoothedSlopeEstimator()
+    assert estimator.observe(0.0, 0.0) is None
+    assert estimator.slope is None
+
+
+def test_slope_first_difference_initialises_directly():
+    estimator = SmoothedSlopeEstimator(weight=0.7)
+    estimator.observe(0.0, 0.0)
+    assert estimator.observe(10.0, 50.0) == pytest.approx(5.0)
+
+
+def test_slope_smoothing_formula():
+    estimator = SmoothedSlopeEstimator(weight=0.7)
+    estimator.observe(0.0, 0.0)
+    estimator.observe(10.0, 50.0)  # slope 5
+    # next instantaneous slope: (150-50)/10 = 10 → 0.7*5 + 0.3*10 = 6.5
+    assert estimator.observe(20.0, 150.0) == pytest.approx(6.5)
+
+
+def test_zero_dt_leaves_slope_unchanged():
+    """Time frozen (read-only phase): the finite difference is undefined."""
+    estimator = SmoothedSlopeEstimator(weight=0.7)
+    estimator.observe(0.0, 0.0)
+    estimator.observe(10.0, 50.0)
+    assert estimator.observe(10.0, 70.0) == pytest.approx(5.0)
+    # The frozen observation replaces the anchor point.
+    assert estimator.observe(20.0, 80.0) == pytest.approx(0.7 * 5.0 + 0.3 * 1.0)
+
+
+def test_negative_slope_is_representable():
+    estimator = SmoothedSlopeEstimator(weight=0.0)
+    estimator.observe(0.0, 100.0)
+    assert estimator.observe(10.0, 50.0) == pytest.approx(-5.0)
+
+
+def test_slope_reset():
+    estimator = SmoothedSlopeEstimator()
+    estimator.observe(0.0, 0.0)
+    estimator.observe(1.0, 1.0)
+    estimator.reset()
+    assert estimator.slope is None
+    assert estimator.observe(0.0, 0.0) is None
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1.0),
+    st.lists(
+        st.tuples(
+            # Times are integral in the policies' domain (overwrite counts);
+            # subnormal float gaps would produce meaningless infinite slopes.
+            st.integers(min_value=0, max_value=100),
+            st.floats(min_value=-1e4, max_value=1e4),
+        ),
+        min_size=2,
+        max_size=40,
+    ),
+)
+def test_slope_bounded_by_extreme_instantaneous_slopes(weight, raw_points):
+    """The smoothed slope lies within the observed instantaneous slope range."""
+    points = sorted(raw_points, key=lambda p: p[0])
+    diffs = []
+    estimator = SmoothedSlopeEstimator(weight=weight)
+    previous = None
+    for time, value in points:
+        estimator.observe(time, value)
+        if previous is not None and time > previous[0]:
+            diffs.append((value - previous[1]) / (time - previous[0]))
+        previous = (time, value)
+    if diffs and estimator.slope is not None:
+        assert min(diffs) - 1e-6 <= estimator.slope <= max(diffs) + 1e-6

@@ -1,0 +1,173 @@
+"""Unit tests for the §5 extension policies (opportunism and coupling)."""
+
+import pytest
+
+from repro.core.estimators import OracleEstimator
+from repro.core.extensions import CoupledSaioSagaPolicy, OpportunisticPolicy
+from repro.core.fixed import FixedRatePolicy
+from repro.core.rate_policy import PolicyContext, TimeBase
+from repro.gc.collector import CollectionResult
+from repro.storage.heap import ObjectStore, StoreConfig
+from repro.storage.iostats import IOStats
+
+CFG = StoreConfig(page_size=256, partition_pages=4, buffer_pages=4)
+
+
+def _store_with_garbage(garbage_bytes: int) -> ObjectStore:
+    store = ObjectStore(CFG)
+    root = store.create(size=10)
+    store.register_root(root)
+    if garbage_bytes:
+        victim = store.create(size=garbage_bytes)
+        store.write_pointer(root, "x", victim)
+        store.write_pointer(root, "x", None, dies=[victim])
+    return store
+
+
+def _ctx(store: ObjectStore, gc_io: int = 10) -> PolicyContext:
+    result = CollectionResult(
+        collection_number=0,
+        partition=0,
+        reclaimed_bytes=100,
+        reclaimed_objects=1,
+        live_bytes=0,
+        live_objects=0,
+        gc_reads=gc_io,
+        gc_writes=0,
+        pointer_overwrites_at_selection=3,
+        overwrite_clock=50,
+    )
+    return PolicyContext(result=result, store=store, iostats=IOStats())
+
+
+# ----------------------------------------------------------------------
+# OpportunisticPolicy
+# ----------------------------------------------------------------------
+
+
+def test_opportunistic_delegates_triggers():
+    inner = FixedRatePolicy(100)
+    policy = OpportunisticPolicy(inner, OracleEstimator())
+    store = _store_with_garbage(0)
+    assert policy.time_base is inner.time_base
+    assert policy.first_trigger(store, IOStats()).interval == 100
+    assert policy.next_trigger(_ctx(store)).interval == 100
+
+
+def test_opportunism_requires_sustained_idleness():
+    policy = OpportunisticPolicy(
+        FixedRatePolicy(100), OracleEstimator(), idle_threshold=3, min_garbage_bytes=10
+    )
+    store = _store_with_garbage(500)
+    assert not policy.note_idle(store)
+    assert not policy.note_idle(store)
+    assert policy.note_idle(store)  # third consecutive idle tick fires
+    assert policy.opportunistic_collections == 1
+
+
+def test_activity_resets_idle_counter():
+    policy = OpportunisticPolicy(
+        FixedRatePolicy(100), OracleEstimator(), idle_threshold=2, min_garbage_bytes=10
+    )
+    store = _store_with_garbage(500)
+    assert not policy.note_idle(store)
+    policy.note_activity()
+    assert not policy.note_idle(store)  # counter restarted
+    assert policy.note_idle(store)
+
+
+def test_opportunism_skips_when_little_garbage():
+    policy = OpportunisticPolicy(
+        FixedRatePolicy(100), OracleEstimator(), idle_threshold=1, min_garbage_bytes=1000
+    )
+    store = _store_with_garbage(50)
+    assert not policy.note_idle(store)
+    assert policy.opportunistic_collections == 0
+
+
+def test_opportunism_rearms_after_firing():
+    policy = OpportunisticPolicy(
+        FixedRatePolicy(100), OracleEstimator(), idle_threshold=2, min_garbage_bytes=10
+    )
+    store = _store_with_garbage(500)
+    policy.note_idle(store)
+    assert policy.note_idle(store)
+    assert not policy.note_idle(store)  # needs another full quiet stretch
+    assert policy.note_idle(store)
+
+
+def test_opportunistic_validates_args():
+    with pytest.raises(ValueError):
+        OpportunisticPolicy(FixedRatePolicy(1), OracleEstimator(), idle_threshold=0)
+    with pytest.raises(ValueError):
+        OpportunisticPolicy(
+            FixedRatePolicy(1), OracleEstimator(), min_garbage_bytes=-1
+        )
+
+
+# ----------------------------------------------------------------------
+# CoupledSaioSagaPolicy
+# ----------------------------------------------------------------------
+
+
+def test_coupled_validates_args():
+    with pytest.raises(ValueError):
+        CoupledSaioSagaPolicy(0.1, 1.0, OracleEstimator())
+    with pytest.raises(ValueError):
+        CoupledSaioSagaPolicy(0.1, 0.1, OracleEstimator(), max_scale=0.5)
+
+
+def test_coupled_time_base_is_app_io():
+    policy = CoupledSaioSagaPolicy(0.1, 0.1, OracleEstimator())
+    assert policy.time_base is TimeBase.APP_IO
+
+
+def test_coupled_stretches_interval_when_garbage_scarce():
+    """Little garbage → collections are not cost-effective → longer interval."""
+    estimator = OracleEstimator()
+    plain = CoupledSaioSagaPolicy(0.1, 0.1, estimator, max_scale=1.0)
+    coupled = CoupledSaioSagaPolicy(0.1, 0.1, estimator, max_scale=4.0)
+    store = _store_with_garbage(0)  # zero garbage, far below 10% target
+    store.create(size=500)  # give the DB some size
+    base = plain.next_trigger(_ctx(store)).interval
+    stretched = coupled.next_trigger(_ctx(store)).interval
+    assert stretched == pytest.approx(base * 4.0)
+
+
+def test_coupled_shrinks_interval_when_garbage_abundant():
+    estimator = OracleEstimator()
+    plain = CoupledSaioSagaPolicy(0.1, 0.1, estimator, max_scale=1.0)
+    coupled = CoupledSaioSagaPolicy(0.1, 0.1, estimator, max_scale=4.0)
+    store = _store_with_garbage(800)  # ~99% garbage, far above 10% target
+    base = plain.next_trigger(_ctx(store)).interval
+    shrunk = coupled.next_trigger(_ctx(store)).interval
+    assert shrunk < base
+
+
+def test_coupled_neutral_at_target_level():
+    """Estimated garbage exactly at target → scale 1 → plain SAIO interval."""
+    estimator = OracleEstimator()
+    store = _store_with_garbage(100)
+    filler = 100 * 9 - 10  # make garbage exactly 10% of db_size
+    store.create(size=filler)
+    assert store.garbage_fraction == pytest.approx(0.10)
+    coupled = CoupledSaioSagaPolicy(0.1, 0.1, estimator, max_scale=4.0)
+    plain = CoupledSaioSagaPolicy(0.1, 0.1, estimator, max_scale=1.0)
+    assert coupled.next_trigger(_ctx(store)).interval == pytest.approx(
+        plain.next_trigger(_ctx(store)).interval
+    )
+
+
+def test_coupled_scale_is_bounded():
+    estimator = OracleEstimator()
+    policy = CoupledSaioSagaPolicy(0.1, 0.1, estimator, max_scale=3.0)
+    assert policy._cost_effectiveness_scale(_store_with_garbage(0)) == 3.0
+    heavy = _store_with_garbage(100_000)
+    assert policy._cost_effectiveness_scale(heavy) == pytest.approx(1 / 3.0)
+
+
+def test_describe_strings():
+    opportunistic = OpportunisticPolicy(FixedRatePolicy(100), OracleEstimator())
+    assert "opportunistic" in opportunistic.describe()
+    coupled = CoupledSaioSagaPolicy(0.1, 0.2, OracleEstimator())
+    assert "saio+saga" in coupled.describe()

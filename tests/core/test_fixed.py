@@ -1,0 +1,68 @@
+"""Unit tests for the fixed-rate baseline policies (§2.1)."""
+
+import pytest
+
+from repro.core.fixed import FixedRatePolicy, PartitionHeuristicPolicy
+from repro.core.rate_policy import PolicyContext, TimeBase
+from repro.gc.collector import CollectionResult
+from repro.storage.heap import ObjectStore
+from repro.storage.iostats import IOStats
+
+
+def _ctx() -> PolicyContext:
+    result = CollectionResult(
+        collection_number=0,
+        partition=0,
+        reclaimed_bytes=100,
+        reclaimed_objects=1,
+        live_bytes=0,
+        live_objects=0,
+        gc_reads=4,
+        gc_writes=1,
+        pointer_overwrites_at_selection=3,
+        overwrite_clock=50,
+    )
+    return PolicyContext(result=result, store=ObjectStore(), iostats=IOStats())
+
+
+def test_fixed_rate_validates_positive():
+    with pytest.raises(ValueError):
+        FixedRatePolicy(0)
+    with pytest.raises(ValueError):
+        FixedRatePolicy(-10)
+
+
+def test_fixed_rate_is_constant():
+    policy = FixedRatePolicy(250)
+    assert policy.time_base is TimeBase.OVERWRITES
+    first = policy.first_trigger(ObjectStore(), IOStats())
+    assert first.interval == 250
+    assert policy.next_trigger(_ctx()).interval == 250
+    assert policy.next_trigger(_ctx()).interval == 250  # never adapts
+
+
+def test_partition_heuristic_reproduces_paper_number():
+    """96 KB partitions, connectivity 4, 133-byte objects → 2956 overwrites."""
+    policy = PartitionHeuristicPolicy(
+        partition_size=96 * 1024, avg_connectivity=4.0, avg_object_size=133.0
+    )
+    assert policy.overwrites_per_collection == pytest.approx(2956.0, abs=1.0)
+
+
+def test_partition_heuristic_scales_with_inputs():
+    small = PartitionHeuristicPolicy(partition_size=1000, avg_connectivity=2, avg_object_size=100)
+    assert small.overwrites_per_collection == pytest.approx(20.0)
+
+
+def test_partition_heuristic_validates_inputs():
+    with pytest.raises(ValueError):
+        PartitionHeuristicPolicy(partition_size=0)
+    with pytest.raises(ValueError):
+        PartitionHeuristicPolicy(partition_size=100, avg_connectivity=0)
+    with pytest.raises(ValueError):
+        PartitionHeuristicPolicy(partition_size=100, avg_object_size=-1)
+
+
+def test_describe_strings():
+    assert "fixed(" in FixedRatePolicy(100).describe()
+    assert "partition-heuristic" in PartitionHeuristicPolicy(96 * 1024).describe()

@@ -1,0 +1,148 @@
+"""Unit and property tests for the SAGA policy algebra (§2.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.estimators import OracleEstimator
+from repro.core.rate_policy import TimeBase
+from repro.core.saga import DEFAULT_DT_MAX, DEFAULT_DT_MIN, SagaPolicy
+from repro.storage.heap import ObjectStore
+from repro.storage.iostats import IOStats
+
+
+def _policy(frac=0.1, **kwargs) -> SagaPolicy:
+    return SagaPolicy(garbage_fraction=frac, estimator=OracleEstimator(), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+
+def test_validates_fraction():
+    with pytest.raises(ValueError):
+        _policy(frac=0.0)
+    with pytest.raises(ValueError):
+        _policy(frac=1.0)
+
+
+def test_validates_clamps():
+    with pytest.raises(ValueError):
+        _policy(dt_min=0.0)
+    with pytest.raises(ValueError):
+        _policy(dt_min=10.0, dt_max=5.0)
+
+
+def test_paper_defaults():
+    policy = _policy()
+    assert policy.weight == pytest.approx(0.7)
+    assert policy.dt_min == DEFAULT_DT_MIN == 2.0
+    assert policy.dt_max == DEFAULT_DT_MAX == 1000.0
+
+
+def test_time_base_is_overwrites():
+    assert _policy().time_base is TimeBase.OVERWRITES
+
+
+def test_first_trigger_uses_initial_interval():
+    policy = _policy(initial_interval=55.0)
+    trigger = policy.first_trigger(ObjectStore(), IOStats())
+    assert trigger.base is TimeBase.OVERWRITES
+    assert trigger.interval == 55.0
+
+
+# ----------------------------------------------------------------------
+# The §2.3 balance equation
+# ----------------------------------------------------------------------
+
+
+def test_interval_balance_equation():
+    """Δt = (CurrColl − GarbDiff) / TotGarb'."""
+    policy = _policy(frac=0.10)
+    # DB 10_000 → target 1000; actual 1200 → GarbDiff 200.
+    # CurrColl 800, slope 10 bytes/overwrite → Δt = (800−200)/10 = 60.
+    dt = policy.compute_interval(current_coll=800, act_garb=1200, db_size=10_000, slope=10.0)
+    assert dt == pytest.approx(60.0)
+
+
+def test_on_target_interval_is_replacement_time():
+    """At the target level, wait exactly until CurrColl of new garbage exists."""
+    policy = _policy(frac=0.10)
+    dt = policy.compute_interval(current_coll=500, act_garb=1000, db_size=10_000, slope=5.0)
+    assert dt == pytest.approx(100.0)  # 500 bytes at 5 bytes/overwrite
+
+
+def test_excess_garbage_shortens_interval():
+    policy = _policy(frac=0.10)
+    on_target = policy.compute_interval(500, 1000, 10_000, 5.0)
+    over = policy.compute_interval(500, 1400, 10_000, 5.0)
+    assert over < on_target
+
+
+def test_deficit_garbage_lengthens_interval():
+    policy = _policy(frac=0.10)
+    on_target = policy.compute_interval(500, 1000, 10_000, 5.0)
+    under = policy.compute_interval(500, 600, 10_000, 5.0)
+    assert under > on_target
+
+
+def test_interval_clamped_to_minimum():
+    policy = _policy(frac=0.05)
+    # Massive excess garbage → raw Δt negative → clamp to dt_min.
+    dt = policy.compute_interval(current_coll=10, act_garb=9000, db_size=10_000, slope=5.0)
+    assert dt == policy.dt_min
+
+
+def test_interval_clamped_to_maximum():
+    policy = _policy(frac=0.50)
+    # Huge deficit with tiny slope → raw Δt enormous → clamp to dt_max.
+    dt = policy.compute_interval(current_coll=10, act_garb=0, db_size=1_000_000, slope=0.001)
+    assert dt == policy.dt_max
+
+
+def test_none_or_nonpositive_slope_defers_to_dt_max():
+    policy = _policy()
+    assert policy.compute_interval(100, 0, 1000, None) == policy.dt_max
+    assert policy.compute_interval(100, 0, 1000, 0.0) == policy.dt_max
+    assert policy.compute_interval(100, 0, 1000, -3.0) == policy.dt_max
+
+
+@given(
+    st.floats(min_value=0.01, max_value=0.9),
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=0.0, max_value=1e6),
+    st.floats(min_value=1.0, max_value=1e7),
+    st.one_of(st.none(), st.floats(min_value=-100.0, max_value=100.0)),
+)
+def test_interval_always_within_clamps(frac, curr_coll, act_garb, db_size, slope):
+    policy = _policy(frac=frac)
+    dt = policy.compute_interval(curr_coll, act_garb, db_size, slope)
+    assert policy.dt_min <= dt <= policy.dt_max
+
+
+@given(
+    st.floats(min_value=0.01, max_value=0.9),
+    st.floats(min_value=1.0, max_value=1e5),
+    st.floats(min_value=0.1, max_value=1e3),
+    st.floats(min_value=1e3, max_value=1e7),
+)
+def test_unclamped_solution_satisfies_balance(frac, curr_coll, slope, db_size):
+    """Property: when unclamped, garbage returns exactly to target at t+Δt.
+
+    Garbage at t+Δt (just after the predicted collection) is
+    ActGarb + slope·Δt − CurrColl, which must equal TargetGarb.
+    """
+    policy = _policy(frac=frac)
+    act_garb = db_size * frac * 1.1  # slightly over target
+    dt = policy.compute_interval(curr_coll, act_garb, db_size, slope)
+    if policy.dt_min < dt < policy.dt_max:
+        target = db_size * frac
+        after = act_garb + slope * dt - curr_coll
+        assert after == pytest.approx(target, rel=1e-6)
+
+
+def test_describe_mentions_parameters():
+    text = _policy(frac=0.15).describe()
+    assert "15.0%" in text
+    assert "oracle" in text

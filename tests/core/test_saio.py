@@ -1,0 +1,180 @@
+"""Unit and property tests for the SAIO policy algebra (§2.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.rate_policy import TimeBase
+from repro.core.saio import UNLIMITED_HISTORY, SaioPolicy
+from repro.storage.heap import ObjectStore
+from repro.storage.iostats import IOCategory, IOStats
+
+
+def _stats_with_history(intervals: list[tuple[int, int]]) -> IOStats:
+    """Build IOStats with closed (app, gc) intervals."""
+    stats = IOStats()
+    for app, gc in intervals:
+        stats.record_read(IOCategory.APPLICATION, app)
+        stats.record_read(IOCategory.COLLECTOR, gc)
+        stats.mark_collection()
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+
+
+def test_validates_fraction():
+    with pytest.raises(ValueError):
+        SaioPolicy(io_fraction=0.0)
+    with pytest.raises(ValueError):
+        SaioPolicy(io_fraction=1.0)
+
+
+def test_validates_history():
+    with pytest.raises(ValueError):
+        SaioPolicy(io_fraction=0.1, c_hist=-1)
+    with pytest.raises(ValueError):
+        SaioPolicy(io_fraction=0.1, c_hist=2.5)
+    SaioPolicy(io_fraction=0.1, c_hist=UNLIMITED_HISTORY)  # allowed
+
+
+def test_time_base_is_app_io():
+    assert SaioPolicy(io_fraction=0.1).time_base is TimeBase.APP_IO
+
+
+def test_first_trigger_uses_initial_interval():
+    policy = SaioPolicy(io_fraction=0.1, initial_interval=321.0)
+    trigger = policy.first_trigger(ObjectStore(), IOStats())
+    assert trigger.base is TimeBase.APP_IO
+    assert trigger.interval == 321.0
+
+
+# ----------------------------------------------------------------------
+# The §2.2 equation, c_hist = 0
+# ----------------------------------------------------------------------
+
+
+def test_interval_no_history_basic():
+    """ΔAppIO = CurrGCIO · (1 - f) / f."""
+    policy = SaioPolicy(io_fraction=0.10, c_hist=0)
+    interval = policy.compute_interval(current_gc_io=50, iostats=IOStats())
+    assert interval == pytest.approx(50 * 0.9 / 0.1)  # 450
+
+
+def test_interval_no_history_half():
+    policy = SaioPolicy(io_fraction=0.5, c_hist=0)
+    assert policy.compute_interval(100, IOStats()) == pytest.approx(100.0)
+
+
+def test_interval_clamped_to_minimum():
+    policy = SaioPolicy(io_fraction=0.99, c_hist=0, min_interval=1.0)
+    assert policy.compute_interval(1, IOStats()) == 1.0
+
+
+def test_achieving_target_exactly():
+    """If every collection costs G and we wait the computed interval, the
+    achieved fraction equals the requested one."""
+    frac = 0.2
+    policy = SaioPolicy(io_fraction=frac, c_hist=0)
+    gc_per_collection = 80
+    interval = policy.compute_interval(gc_per_collection, IOStats())
+    achieved = gc_per_collection / (gc_per_collection + interval)
+    assert achieved == pytest.approx(frac)
+
+
+@given(
+    st.floats(min_value=0.01, max_value=0.95),
+    st.integers(min_value=1, max_value=10_000),
+)
+def test_interval_inverts_fraction_formula(frac, gc_io):
+    """Property: the computed interval solves GCIO/(GCIO+ΔAppIO) = frac
+    (when the minimum clamp is not engaged)."""
+    policy = SaioPolicy(io_fraction=frac, c_hist=0)
+    interval = policy.compute_interval(gc_io, IOStats())
+    if interval > policy.min_interval:
+        assert gc_io / (gc_io + interval) == pytest.approx(frac, rel=1e-9)
+
+
+# ----------------------------------------------------------------------
+# History windows
+# ----------------------------------------------------------------------
+
+
+def test_history_window_includes_recent_intervals():
+    """With history, past error feeds back into the next interval."""
+    # One closed interval that overshot GC I/O: app=100, gc=100 (50% GC).
+    stats = _stats_with_history([(100, 100)])
+    policy = SaioPolicy(io_fraction=0.5, c_hist=1)
+    # Window: app_hist=100, gc_hist=100. Predicted = 100+100=200.
+    # ΔAppIO = 200·(0.5/0.5) − 100 = 100.
+    assert policy.compute_interval(100, stats) == pytest.approx(100.0)
+
+
+def test_history_damps_past_overshoot():
+    """A GC-heavy past interval shrinks the GC budget going forward..."""
+    # Past interval was far too GC-heavy for a 10% target.
+    stats = _stats_with_history([(10, 90)])
+    with_history = SaioPolicy(io_fraction=0.10, c_hist=1)
+    without = SaioPolicy(io_fraction=0.10, c_hist=0)
+    assert with_history.compute_interval(90, stats) > without.compute_interval(
+        90, stats
+    )
+
+
+def test_history_credits_past_undershoot():
+    """...and a GC-light past interval allows collecting sooner."""
+    stats = _stats_with_history([(1000, 10)])
+    with_history = SaioPolicy(io_fraction=0.10, c_hist=1)
+    without = SaioPolicy(io_fraction=0.10, c_hist=0)
+    assert with_history.compute_interval(10, stats) < without.compute_interval(
+        10, stats
+    )
+
+
+def test_unlimited_history_uses_all_intervals():
+    stats = _stats_with_history([(100, 10), (100, 10), (100, 10)])
+    policy = SaioPolicy(io_fraction=0.10, c_hist=UNLIMITED_HISTORY)
+    # gc_hist=30, app_hist=300, predicted = 30+10=40:
+    # ΔAppIO = 40·9 − 300 = 60.
+    assert policy.compute_interval(10, stats) == pytest.approx(60.0)
+
+
+def test_windowed_history_uses_only_recent():
+    stats = _stats_with_history([(1_000_000, 1), (100, 10)])
+    policy = SaioPolicy(io_fraction=0.10, c_hist=1)
+    # Only the last interval counts: gc=10+10=20, ΔAppIO = 20·9 − 100 = 80.
+    assert policy.compute_interval(10, stats) == pytest.approx(80.0)
+
+
+@given(
+    st.floats(min_value=0.02, max_value=0.9),
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=1, max_value=1000),
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(min_value=1, max_value=1000),
+)
+def test_history_equation_solved_exactly(frac, intervals, curr_gc):
+    """Property: unclamped, the solution satisfies the windowed equation."""
+    stats = _stats_with_history(intervals)
+    policy = SaioPolicy(io_fraction=frac, c_hist=UNLIMITED_HISTORY)
+    interval = policy.compute_interval(curr_gc, stats)
+    if interval > policy.min_interval:
+        app_hist = sum(a for a, _g in intervals)
+        gc_hist = sum(g for _a, g in intervals)
+        predicted_gc = gc_hist + curr_gc
+        achieved = predicted_gc / (predicted_gc + app_hist + interval)
+        assert achieved == pytest.approx(frac, rel=1e-9)
+
+
+def test_describe_mentions_parameters():
+    text = SaioPolicy(io_fraction=0.25, c_hist=3).describe()
+    assert "25.0%" in text
+    assert "c_hist=3" in text
+    assert "inf" in SaioPolicy(io_fraction=0.1, c_hist=UNLIMITED_HISTORY).describe()

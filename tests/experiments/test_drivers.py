@@ -1,0 +1,158 @@
+"""Tests for the experiment drivers, on reduced grids for speed.
+
+These verify the drivers' mechanics (structure, formatting, parameters),
+not the paper's quantitative claims — those are asserted by the benchmark
+harness on full workloads.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_fixed_heuristic,
+    format_saio_history,
+    format_selection_ablation,
+    format_weight_ablation,
+    run_fixed_heuristic_ablation,
+    run_saio_history_ablation,
+    run_selection_ablation,
+    run_weight_ablation,
+)
+from repro.experiments.common import SweepPoint, full_scale
+from repro.experiments.figure1 import format_figure1, run_figure1
+from repro.experiments.figure4 import format_figure4, run_figure4
+from repro.experiments.figure5 import format_figure5, run_figure5
+from repro.experiments.figure6 import format_figure6, run_figure6
+from repro.experiments.figure7 import format_figure7, run_figure7
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.table1 import format_table1, run_table1
+from repro.oo7.config import TINY, OO7Config
+
+# A small-but-collectable OO7 variant for driver tests.
+DRIVER_CONFIG = OO7Config(
+    num_atomic_per_comp=10,
+    num_comp_per_module=40,
+    num_assm_levels=3,
+    manual_size=16 * 1024,
+    document_size=800,
+)
+SEEDS = [0]
+
+
+def test_full_scale_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FULL", raising=False)
+    assert not full_scale()
+    monkeypatch.setenv("REPRO_FULL", "1")
+    assert full_scale()
+    monkeypatch.setenv("REPRO_FULL", "0")
+    assert not full_scale()
+
+
+def test_sweep_point_error():
+    point = SweepPoint(requested=0.1, mean=0.12, minimum=0.11, maximum=0.13)
+    assert point.error == pytest.approx(0.02)
+
+
+def test_table1_driver():
+    result = run_table1(connectivities=(3,))
+    assert result.generated[0].connectivity == 3
+    report = format_table1(result)
+    assert "NumCompPerModule" in report
+    assert "Small'" in report
+
+
+def test_figure1_driver():
+    result = run_figure1(rates=(50, 400), seeds=SEEDS, config=DRIVER_CONFIG)
+    assert [r.rate for r in result.rows] == [50, 400]
+    assert result.rows[0].collections_mean > result.rows[1].collections_mean
+    report = format_figure1(result)
+    assert "Figure 1a" in report and "Figure 1b" in report
+
+
+def test_figure4_driver():
+    result = run_figure4(fractions=(0.10, 0.30), seeds=SEEDS, config=DRIVER_CONFIG)
+    assert [p.requested for p in result.points] == [0.10, 0.30]
+    for point in result.points:
+        assert 0.0 <= point.minimum <= point.mean <= point.maximum <= 1.0
+    assert "Figure 4" in format_figure4(result)
+
+
+def test_figure5_driver():
+    result = run_figure5(
+        fractions=(0.15,),
+        seeds=SEEDS,
+        estimators=("oracle",),
+        config=DRIVER_CONFIG,
+    )
+    assert set(result.sweeps) == {"oracle"}
+    assert "Figure 5 (oracle)" in format_figure5(result)
+
+
+def test_figure6_driver():
+    result = run_figure6(seed=0, config=DRIVER_CONFIG)
+    assert set(result.series) == {"cgs-cb", "fgs-hb"}
+    for series in result.series.values():
+        assert series.records
+        assert len(series.actual) == len(series.estimated) == len(series.target)
+    report = format_figure6(result)
+    assert "Figure 6a" in report and "Figure 6b" in report
+
+
+def test_figure7_driver():
+    result = run_figure7(histories=(0.5, 0.8), seed=0, config=DRIVER_CONFIG)
+    assert set(result.runs) == {0.5, 0.8}
+    run = result.runs[0.8]
+    assert len(run.intervals) == len(run.records) - 1
+    report = format_figure7(result)
+    assert "Figure 7a" in report and "Figure 7b" in report
+
+
+def test_figure8_driver():
+    result = run_figure8(
+        fractions=(0.15,),
+        seeds=SEEDS,
+        connectivities=(6,),
+        estimators=("oracle",),
+        config=DRIVER_CONFIG,
+    )
+    assert set(result.saio) == {6}
+    assert set(result.saga) == {("oracle", 6)}
+    assert "connectivity 6" in format_figure8(result)
+
+
+def test_fixed_heuristic_ablation_driver():
+    result = run_fixed_heuristic_ablation(seeds=SEEDS, config=DRIVER_CONFIG)
+    assert result.heuristic_rate > 0
+    assert result.measured_gpo > 0
+    assert "§2.1" in format_fixed_heuristic(result)
+
+
+def test_saio_history_ablation_driver():
+    result = run_saio_history_ablation(
+        fractions=(0.2,), histories=(0, 2), seeds=SEEDS, config=DRIVER_CONFIG
+    )
+    assert len(result.rows) == 2
+    assert "c_hist" in format_saio_history(result)
+
+
+def test_selection_ablation_driver():
+    result = run_selection_ablation(seeds=SEEDS, config=DRIVER_CONFIG)
+    assert [row[0] for row in result.rows] == ["updated-pointer", "random"]
+    assert "selection" in format_selection_ablation(result)
+
+
+def test_weight_ablation_driver():
+    result = run_weight_ablation(weights=(0.7,), seeds=SEEDS, config=DRIVER_CONFIG)
+    assert len(result.rows) == 1
+    assert "Weight" in format_weight_ablation(result)
+
+
+def test_drivers_are_deterministic():
+    first = run_figure4(fractions=(0.2,), seeds=[3], config=DRIVER_CONFIG)
+    second = run_figure4(fractions=(0.2,), seeds=[3], config=DRIVER_CONFIG)
+    assert first.points == second.points
+
+
+def test_tiny_config_also_works_end_to_end():
+    """Even the test-scale TINY config flows through a driver."""
+    result = run_figure1(rates=(30,), seeds=[0], config=TINY)
+    assert result.rows[0].collections_mean >= 0

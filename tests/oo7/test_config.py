@@ -1,0 +1,81 @@
+"""Unit tests for OO7 configuration (Table 1 parameters)."""
+
+import pytest
+
+from repro.oo7.config import SMALL, SMALL_PRIME, TINY, OO7Config
+
+
+def test_small_prime_matches_table1():
+    """Table 1, column Small'."""
+    assert SMALL_PRIME.num_atomic_per_comp == 20
+    assert SMALL_PRIME.num_conn_per_atomic == 3
+    assert SMALL_PRIME.document_size == 2000
+    assert SMALL_PRIME.manual_size == 100 * 1024
+    assert SMALL_PRIME.num_comp_per_module == 150
+    assert SMALL_PRIME.num_assm_per_assm == 3
+    assert SMALL_PRIME.num_assm_levels == 6
+    assert SMALL_PRIME.num_comp_per_assm == 3
+    assert SMALL_PRIME.num_modules == 1
+
+
+def test_small_matches_table1():
+    """Table 1, column Small: 500 composites, 7 assembly levels."""
+    assert SMALL.num_comp_per_module == 500
+    assert SMALL.num_assm_levels == 7
+    # All other parameters are shared with Small'.
+    assert SMALL.num_atomic_per_comp == SMALL_PRIME.num_atomic_per_comp
+    assert SMALL.num_conn_per_atomic == SMALL_PRIME.num_conn_per_atomic
+    assert SMALL.document_size == SMALL_PRIME.document_size
+    assert SMALL.manual_size == SMALL_PRIME.manual_size
+
+
+def test_validation_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        OO7Config(num_comp_per_module=0)
+    with pytest.raises(ValueError):
+        OO7Config(document_size=-1)
+
+
+def test_needs_at_least_two_parts_per_composite():
+    with pytest.raises(ValueError):
+        OO7Config(num_atomic_per_comp=1)
+
+
+def test_derived_assembly_counts():
+    # Levels 6, fanout 3: 1+3+9+27+81+243 = 364 assemblies, 243 leaves.
+    assert SMALL_PRIME.base_assemblies_per_module == 243
+    assert SMALL_PRIME.assemblies_per_module == 364
+
+
+def test_derived_part_and_connection_counts():
+    assert SMALL_PRIME.atomic_parts_per_module == 150 * 20 == 3000
+    assert SMALL_PRIME.connections_per_module == 3000 * 3 == 9000
+
+
+def test_expected_object_count():
+    expected = 2 + 364 + 2 * 150 + 3000 + 9000
+    assert SMALL_PRIME.expected_object_count == expected
+
+
+def test_expected_bytes_scale_with_connectivity():
+    conn9 = SMALL_PRIME.with_connectivity(9)
+    delta = conn9.expected_bytes_per_module - SMALL_PRIME.expected_bytes_per_module
+    assert delta == 3000 * 6 * SMALL_PRIME.connection_size
+
+
+def test_with_connectivity_copies():
+    conn6 = SMALL_PRIME.with_connectivity(6)
+    assert conn6.num_conn_per_atomic == 6
+    assert SMALL_PRIME.num_conn_per_atomic == 3  # original untouched
+    assert conn6.num_comp_per_module == SMALL_PRIME.num_comp_per_module
+
+
+def test_with_seed_copies():
+    reseeded = TINY.with_seed(99)
+    assert reseeded.seed == 99
+    assert reseeded.num_comp_per_module == TINY.num_comp_per_module
+
+
+def test_configs_are_frozen():
+    with pytest.raises(Exception):
+        SMALL_PRIME.seed = 1  # type: ignore[misc]

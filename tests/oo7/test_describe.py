@@ -1,0 +1,31 @@
+"""Tests for the Figure 2/3 textual renderings."""
+
+from repro.oo7.builder import build_database
+from repro.oo7.config import SMALL_PRIME, TINY
+from repro.oo7.describe import describe_phases, describe_structure
+from repro.storage.heap import StoreConfig
+
+
+def test_describe_phases_mentions_all_four():
+    text = describe_phases()
+    for phase in ("GenDB", "Reorg1", "Traverse", "Reorg2"):
+        assert phase in text
+    assert "Figure 2" in text
+
+
+def test_describe_structure_uses_config_numbers():
+    text = describe_structure(SMALL_PRIME)
+    assert "Figure 3" in text
+    assert "150" in text  # composites
+    assert "2000 B" in text  # document size
+    assert f"{SMALL_PRIME.expected_object_count:,}" in text
+
+
+def test_describe_structure_with_generated_database():
+    db = build_database(
+        TINY, store_config=StoreConfig(page_size=2048, partition_pages=4, buffer_pages=4)
+    )
+    text = describe_structure(TINY, graph=db.graph, store=db.store)
+    assert "Generated:" in text
+    assert f"{TINY.num_comp_per_module} composites" in text
+    assert "partitions" in text

@@ -1,0 +1,69 @@
+"""Tests for terminal report formatting."""
+
+import pytest
+
+from repro.sim.report import ascii_plot, format_percent, format_table, sparkline
+
+
+def test_format_table_alignment_and_title():
+    text = format_table(
+        headers=["name", "value"],
+        rows=[["alpha", 1.5], ["b", 22]],
+        title="Demo",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert lines[1] == "===="
+    assert "name" in lines[2] and "value" in lines[2]
+    assert set(lines[3]) <= {"-", " "}
+    # All rows are equally wide.
+    assert len({len(line) for line in lines[2:]}) == 1
+
+
+def test_format_table_float_formatting():
+    text = format_table(["x"], [[0.123456]])
+    assert "0.1235" in text
+
+
+def test_format_percent():
+    assert format_percent(0.1234) == "12.34%"
+    assert format_percent(0.5, digits=0) == "50%"
+
+
+def test_ascii_plot_dimensions_and_legend():
+    plot = ascii_plot(
+        {"actual": [0.0, 1.0, 2.0], "target": [1.0, 1.0, 1.0]},
+        width=20,
+        height=6,
+        title="T",
+    )
+    lines = plot.splitlines()
+    assert lines[0] == "T"
+    assert "*=actual" in lines[1] and "+=target" in lines[1]
+    body = [line for line in lines if line.startswith("|")]
+    assert len(body) == 6
+    assert all(len(line) == 22 for line in body)
+
+
+def test_ascii_plot_constant_series_does_not_crash():
+    plot = ascii_plot({"flat": [5.0, 5.0, 5.0]}, width=10, height=4)
+    assert "flat" in plot
+
+
+def test_ascii_plot_validation():
+    with pytest.raises(ValueError):
+        ascii_plot({}, width=20, height=6)
+    with pytest.raises(ValueError):
+        ascii_plot({"x": [1.0]}, width=2, height=6)
+    with pytest.raises(ValueError):
+        ascii_plot({"x": []}, width=20, height=6)
+
+
+def test_sparkline_resamples_to_width():
+    line = sparkline([0.0, 1.0, 0.0, 1.0], width=16)
+    assert len(line) == 16
+    assert len(set(line)) > 1
+
+
+def test_sparkline_empty():
+    assert sparkline([]) == ""

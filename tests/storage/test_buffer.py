@@ -1,0 +1,128 @@
+"""Unit tests for the LRU buffer pool and its I/O accounting."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.iostats import IOCategory, IOStats
+
+
+@pytest.fixture
+def iostats() -> IOStats:
+    return IOStats()
+
+
+@pytest.fixture
+def pool(iostats: IOStats) -> BufferPool:
+    return BufferPool(capacity=3, iostats=iostats)
+
+
+APP = IOCategory.APPLICATION
+GC = IOCategory.COLLECTOR
+
+
+def test_capacity_must_be_positive(iostats):
+    with pytest.raises(ValueError):
+        BufferPool(capacity=0, iostats=iostats)
+
+
+def test_miss_costs_one_read(pool, iostats):
+    hit = pool.touch((0, 0), APP)
+    assert not hit
+    assert iostats.application.reads == 1
+    assert iostats.application.writes == 0
+
+
+def test_hit_costs_nothing(pool, iostats):
+    pool.touch((0, 0), APP)
+    hit = pool.touch((0, 0), APP)
+    assert hit
+    assert iostats.application.reads == 1
+
+
+def test_lru_eviction_order(pool, iostats):
+    pool.touch((0, 0), APP)
+    pool.touch((0, 1), APP)
+    pool.touch((0, 2), APP)
+    pool.touch((0, 0), APP)  # refresh page 0 → LRU is now page 1
+    pool.touch((0, 3), APP)  # evicts page 1
+    assert (0, 1) not in pool
+    assert (0, 0) in pool
+    assert len(pool) == 3
+
+
+def test_clean_eviction_costs_no_write(pool, iostats):
+    for index in range(4):
+        pool.touch((0, index), APP, dirty=False)
+    assert iostats.application.writes == 0
+    assert iostats.application.reads == 4
+
+
+def test_dirty_eviction_costs_one_write(pool, iostats):
+    pool.touch((0, 0), APP, dirty=True)
+    pool.touch((0, 1), APP)
+    pool.touch((0, 2), APP)
+    pool.touch((0, 3), APP)  # evicts dirty page 0
+    assert iostats.application.writes == 1
+
+
+def test_eviction_write_charged_to_toucher_not_dirtier(pool, iostats):
+    pool.touch((0, 0), APP, dirty=True)
+    pool.touch((0, 1), GC)
+    pool.touch((0, 2), GC)
+    pool.touch((0, 3), GC)  # GC access evicts the app's dirty page
+    assert iostats.collector.writes == 1
+    assert iostats.application.writes == 0
+
+
+def test_dirty_flag_is_sticky_until_writeback(pool):
+    pool.touch((0, 0), APP, dirty=True)
+    pool.touch((0, 0), APP, dirty=False)
+    assert pool.is_dirty((0, 0))
+
+
+def test_flush_writes_only_dirty_pages(pool, iostats):
+    pool.touch((0, 0), APP, dirty=True)
+    pool.touch((0, 1), APP, dirty=False)
+    pool.touch((0, 2), APP, dirty=True)
+    written = pool.flush(APP)
+    assert written == 2
+    assert iostats.application.writes == 2
+    assert not pool.is_dirty((0, 0))
+    assert len(pool) == 3  # flush keeps pages resident
+
+
+def test_invalidate_partition_drops_pages_and_writes_dirty(pool, iostats):
+    pool.touch((0, 0), APP, dirty=True)
+    pool.touch((1, 0), APP, dirty=True)
+    pool.touch((0, 1), APP, dirty=False)
+    dropped = pool.invalidate_partition(0, GC)
+    assert dropped == 2
+    assert (1, 0) in pool
+    assert (0, 0) not in pool
+    assert iostats.collector.writes == 1  # only the dirty page of partition 0
+
+
+def test_never_exceeds_capacity(pool):
+    for index in range(20):
+        pool.touch((0, index), APP)
+        assert len(pool) <= pool.capacity
+
+
+def test_hit_rate_statistics(pool):
+    pool.touch((0, 0), APP)
+    pool.touch((0, 0), APP)
+    pool.touch((0, 1), APP)
+    assert pool.stats.hits == 1
+    assert pool.stats.misses == 2
+    assert pool.stats.hit_rate == pytest.approx(1 / 3)
+
+
+def test_hit_rate_zero_without_accesses(pool):
+    assert pool.stats.hit_rate == 0.0
+
+
+def test_resident_pages_lru_first(pool):
+    pool.touch((0, 0), APP)
+    pool.touch((0, 1), APP)
+    pool.touch((0, 0), APP)
+    assert list(pool.resident_pages()) == [(0, 1), (0, 0)]

@@ -1,0 +1,100 @@
+"""Unit tests for I/O accounting and per-collection interval history."""
+
+import pytest
+
+from repro.storage.iostats import IOCategory, IOStats
+
+
+@pytest.fixture
+def stats() -> IOStats:
+    return IOStats()
+
+
+APP = IOCategory.APPLICATION
+GC = IOCategory.COLLECTOR
+
+
+def test_ledgers_start_empty(stats):
+    assert stats.application_total == 0
+    assert stats.collector_total == 0
+    assert stats.grand_total == 0
+    assert stats.collector_fraction == 0.0
+
+
+def test_reads_and_writes_accumulate_per_category(stats):
+    stats.record_read(APP, 3)
+    stats.record_write(APP, 2)
+    stats.record_read(GC, 5)
+    assert stats.application.reads == 3
+    assert stats.application.writes == 2
+    assert stats.application_total == 5
+    assert stats.collector_total == 5
+    assert stats.grand_total == 10
+    assert stats.collector_fraction == pytest.approx(0.5)
+
+
+def test_negative_counts_rejected(stats):
+    with pytest.raises(ValueError):
+        stats.record_read(APP, -1)
+    with pytest.raises(ValueError):
+        stats.record_write(GC, -1)
+
+
+def test_mark_collection_closes_intervals(stats):
+    stats.record_read(APP, 10)
+    stats.record_read(GC, 4)
+    first = stats.mark_collection()
+    assert (first.app, first.gc) == (10, 4)
+    assert first.collection_number == 0
+
+    stats.record_read(APP, 6)
+    stats.record_write(GC, 2)
+    second = stats.mark_collection()
+    assert (second.app, second.gc) == (6, 2)
+    assert second.collection_number == 1
+    assert len(stats.history) == 2
+
+
+def test_interval_gc_fraction(stats):
+    stats.record_read(APP, 9)
+    stats.record_read(GC, 1)
+    record = stats.mark_collection()
+    assert record.gc_fraction == pytest.approx(0.1)
+    assert record.total == 10
+
+
+def test_interval_gc_fraction_zero_without_io(stats):
+    record = stats.mark_collection()
+    assert record.gc_fraction == 0.0
+
+
+def test_window_sums_recent_intervals(stats):
+    for app_io, gc_io in [(10, 1), (20, 2), (30, 3)]:
+        stats.record_read(APP, app_io)
+        stats.record_read(GC, gc_io)
+        stats.mark_collection()
+    assert stats.window(0) == (0, 0)
+    assert stats.window(1) == (30, 3)
+    assert stats.window(2) == (50, 5)
+    assert stats.window(10) == (60, 6)  # capped at available history
+
+
+def test_window_rejects_negative(stats):
+    with pytest.raises(ValueError):
+        stats.window(-1)
+
+
+def test_since_last_collection(stats):
+    stats.record_read(APP, 5)
+    stats.mark_collection()
+    stats.record_read(APP, 7)
+    stats.record_read(GC, 2)
+    assert stats.since_last_collection() == (7, 2)
+
+
+def test_ledger_copy_is_independent(stats):
+    stats.record_read(APP, 1)
+    snapshot = stats.application.copy()
+    stats.record_read(APP, 1)
+    assert snapshot.reads == 1
+    assert stats.application.reads == 2

@@ -1,0 +1,91 @@
+"""Unit tests for partitions: allocation, remembered sets, FGS counters."""
+
+import pytest
+
+from repro.storage.partition import Partition, PartitionFullError, Placement
+
+
+@pytest.fixture
+def partition() -> Partition:
+    return Partition(pid=0, capacity=1000)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Partition(pid=0, capacity=0)
+
+
+def test_bump_allocation_assigns_consecutive_offsets(partition):
+    p1 = partition.allocate(1, 100)
+    p2 = partition.allocate(2, 250)
+    assert (p1.offset, p1.size) == (0, 100)
+    assert (p2.offset, p2.size) == (100, 250)
+    assert partition.fill == 350
+    assert partition.free_bytes == 650
+    assert partition.residents == {1, 2}
+
+
+def test_allocation_beyond_capacity_raises(partition):
+    partition.allocate(1, 900)
+    assert not partition.fits(200)
+    with pytest.raises(PartitionFullError):
+        partition.allocate(2, 200)
+
+
+def test_exact_fit_allocation_succeeds(partition):
+    partition.allocate(1, 1000)
+    assert partition.free_bytes == 0
+
+
+def test_placement_pages_single_and_multi_page():
+    single = Placement(partition=0, offset=100, size=50)
+    assert list(single.pages(page_size=256)) == [0]
+    spanning = Placement(partition=0, offset=200, size=100)
+    assert list(spanning.pages(page_size=256)) == [0, 1]
+    large = Placement(partition=0, offset=0, size=1024)
+    assert list(large.pages(page_size=256)) == [0, 1, 2, 3]
+
+
+def test_reset_for_compaction_clears_space_residents_and_po(partition):
+    partition.allocate(1, 100)
+    partition.pointer_overwrites = 7
+    partition.reset_for_compaction()
+    assert partition.fill == 0
+    assert partition.residents == set()
+    assert partition.pointer_overwrites == 0
+
+
+def test_remember_and_forget(partition):
+    partition.allocate(5, 10)
+    partition.remember(source=100, target=5)
+    partition.remember(source=101, target=5)
+    assert partition.externally_referenced() == {5}
+    partition.forget(source=100, target=5)
+    assert partition.externally_referenced() == {5}
+    partition.forget(source=101, target=5)
+    assert partition.externally_referenced() == set()
+
+
+def test_forget_unknown_reference_is_silent(partition):
+    partition.forget(source=1, target=2)  # must not raise
+
+
+def test_drop_incoming_removes_all_sources(partition):
+    partition.remember(source=1, target=9)
+    partition.remember(source=2, target=9)
+    partition.drop_incoming(9)
+    assert partition.externally_referenced() == set()
+
+
+def test_page_counts():
+    partition = Partition(pid=0, capacity=1024)
+    assert partition.page_count(page_size=256) == 4
+    assert partition.used_pages(page_size=256) == 0
+    partition.allocate(1, 257)
+    assert partition.used_pages(page_size=256) == 2
+
+
+def test_used_pages_rounds_up():
+    partition = Partition(pid=0, capacity=1000)
+    partition.allocate(1, 1)
+    assert partition.used_pages(page_size=256) == 1

@@ -1,0 +1,68 @@
+"""Tests for the composed four-phase OO7 application (Figure 2)."""
+
+import pytest
+
+from repro.events import PhaseMarkerEvent, trace_stats
+from repro.oo7.config import TINY
+from repro.workload.application import Oo7Application
+from repro.workload.phases import PHASE_ORDER
+
+
+def test_phases_appear_in_figure2_order():
+    app = Oo7Application(TINY, seed=0)
+    markers = [
+        e.name for e in app.events() if isinstance(e, PhaseMarkerEvent)
+    ]
+    assert markers == list(PHASE_ORDER)
+    assert app.phase_names == PHASE_ORDER
+
+
+def test_application_is_deterministic_per_seed():
+    a = list(Oo7Application(TINY, seed=3).events())
+    b = list(Oo7Application(TINY, seed=3).events())
+    assert a == b
+
+
+def test_application_varies_with_seed():
+    a = list(Oo7Application(TINY, seed=1).events())
+    b = list(Oo7Application(TINY, seed=2).events())
+    assert a != b
+
+
+def test_delete_fraction_validation():
+    with pytest.raises(ValueError):
+        Oo7Application(TINY, delete_fraction=0.0)
+    with pytest.raises(ValueError):
+        Oo7Application(TINY, delete_fraction=1.5)
+
+
+def test_both_reorganisations_do_comparable_work():
+    """The paper changed Reorg2 to delete half (not all) parts so the two
+    reorganisations perform approximately the same amount of work."""
+    app = Oo7Application(TINY, seed=0)
+    deaths_by_phase = {name: 0 for name in PHASE_ORDER}
+    phase = None
+    for event in app.events():
+        if isinstance(event, PhaseMarkerEvent):
+            phase = event.name
+        elif hasattr(event, "dies"):
+            deaths_by_phase[phase] += len(event.dies)
+    assert deaths_by_phase["GenDB"] == 0
+    assert deaths_by_phase["Traverse"] == 0
+    r1, r2 = deaths_by_phase["Reorg1"], deaths_by_phase["Reorg2"]
+    assert r1 > 0 and r2 > 0
+    assert 0.5 <= r1 / r2 <= 2.0
+
+
+def test_workload_constants_in_paper_ballpark():
+    """§2.1: OO7 creates garbage at roughly 1 KB per 6 pointer overwrites
+    (~170 B per overwrite)."""
+    app = Oo7Application(TINY, seed=0)
+    stats = trace_stats(app.events())
+    assert 100 <= stats.garbage_per_overwrite <= 250
+
+
+def test_graph_remains_inspectable_after_run():
+    app = Oo7Application(TINY, seed=0)
+    list(app.events())
+    assert len(app.graph.alive_atomic_parts()) == TINY.atomic_parts_per_module

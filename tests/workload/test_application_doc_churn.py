@@ -1,0 +1,61 @@
+"""Tests for the document-churn variant of the OO7 application."""
+
+import pytest
+
+from repro.events import PhaseMarkerEvent, trace_stats
+from repro.oo7.config import TINY
+from repro.workload.application import Oo7Application
+
+
+def test_default_application_has_no_doc_churn():
+    app = Oo7Application(TINY, seed=0)
+    markers = [e.name for e in app.events() if isinstance(e, PhaseMarkerEvent)]
+    assert markers == ["GenDB", "Reorg1", "Traverse", "Reorg2"]
+
+
+def test_doc_churn_phases_inserted_after_each_reorg():
+    app = Oo7Application(TINY, seed=0, doc_churn_fraction=0.5)
+    markers = [e.name for e in app.events() if isinstance(e, PhaseMarkerEvent)]
+    assert markers == [
+        "GenDB",
+        "Reorg1",
+        "DocChurn1",
+        "Traverse",
+        "Reorg2",
+        "DocChurn2",
+    ]
+    assert app.phase_names == tuple(markers)
+
+
+def test_doc_churn_fraction_validation():
+    with pytest.raises(ValueError):
+        Oo7Application(TINY, doc_churn_fraction=-0.1)
+    with pytest.raises(ValueError):
+        Oo7Application(TINY, doc_churn_fraction=1.1)
+
+
+def test_doc_churn_raises_overall_garbage_per_overwrite():
+    plain = trace_stats(Oo7Application(TINY, seed=1).events())
+    churned = trace_stats(
+        Oo7Application(TINY, seed=1, doc_churn_fraction=0.8).events()
+    )
+    assert churned.garbage_per_overwrite > plain.garbage_per_overwrite
+    assert churned.bytes_died > plain.bytes_died
+
+
+def test_doc_churn_annotations_consistent_end_to_end():
+    from repro.core.fixed import FixedRatePolicy
+    from repro.sim.simulator import Simulation, SimulationConfig
+    from repro.storage.heap import StoreConfig
+
+    app = Oo7Application(TINY, seed=2, doc_churn_fraction=0.5)
+    sim = Simulation(
+        policy=FixedRatePolicy(25),
+        config=SimulationConfig(
+            store=StoreConfig(page_size=2048, partition_pages=4, buffer_pages=4),
+            preamble_collections=0,
+        ),
+    )
+    result = sim.run(app.events())
+    assert result.store.check_death_annotations() == set()
+    assert result.store.garbage.undeclared == 0

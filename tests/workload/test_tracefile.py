@@ -1,0 +1,118 @@
+"""Tests for trace-file serialization (round-trip fidelity, error handling)."""
+
+import io
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.events import (
+    AbortTransactionEvent,
+    AccessEvent,
+    BeginTransactionEvent,
+    CommitTransactionEvent,
+    CreateEvent,
+    IdleEvent,
+    PhaseMarkerEvent,
+    PointerWriteEvent,
+    RootEvent,
+    UpdateEvent,
+)
+from repro.oo7.config import TINY
+from repro.storage.object_model import ObjectKind
+from repro.workload.application import Oo7Application
+from repro.workload.tracefile import (
+    TraceFormatError,
+    event_to_record,
+    read_trace,
+    record_to_event,
+    write_trace,
+)
+
+ALL_EVENT_EXAMPLES = [
+    CreateEvent(1, 80, ObjectKind.MODULE),
+    CreateEvent(2, 120, ObjectKind.ATOMIC_PART, pointers=(("partOf", 1), ("x", None))),
+    AccessEvent(2),
+    UpdateEvent(2),
+    PointerWriteEvent(1, "slot", 2),
+    PointerWriteEvent(1, "slot", None, dies=(2,)),
+    RootEvent(1),
+    PhaseMarkerEvent("GenDB"),
+    IdleEvent(),
+    IdleEvent(ticks=5),
+    BeginTransactionEvent(txid=1),
+    CommitTransactionEvent(txid=1),
+    AbortTransactionEvent(txid=2),
+]
+
+
+@pytest.mark.parametrize("event", ALL_EVENT_EXAMPLES, ids=lambda e: type(e).__name__)
+def test_record_round_trip(event):
+    assert record_to_event(event_to_record(event)) == event
+
+
+def test_write_and_read_stream():
+    buffer = io.StringIO()
+    count = write_trace(ALL_EVENT_EXAMPLES, buffer)
+    assert count == len(ALL_EVENT_EXAMPLES)
+    buffer.seek(0)
+    assert list(read_trace(buffer)) == ALL_EVENT_EXAMPLES
+
+
+def test_write_and_read_path(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    write_trace(ALL_EVENT_EXAMPLES, path)
+    assert list(read_trace(path)) == ALL_EVENT_EXAMPLES
+
+
+def test_oo7_application_trace_round_trips(tmp_path):
+    """A full application trace survives a file round trip byte-exactly."""
+    events = list(Oo7Application(TINY, seed=4).events())
+    path = tmp_path / "oo7.jsonl"
+    write_trace(events, path)
+    assert list(read_trace(path)) == events
+
+
+def test_blank_lines_ignored():
+    buffer = io.StringIO('\n{"t":"access","oid":3}\n\n')
+    assert list(read_trace(buffer)) == [AccessEvent(3)]
+
+
+def test_invalid_json_rejected():
+    with pytest.raises(TraceFormatError, match="invalid JSON"):
+        list(read_trace(io.StringIO("not json\n")))
+
+
+def test_unknown_record_type_rejected():
+    with pytest.raises(TraceFormatError, match="unknown trace record"):
+        list(read_trace(io.StringIO('{"t":"explode"}\n')))
+
+
+def test_malformed_record_rejected():
+    with pytest.raises(TraceFormatError, match="malformed"):
+        list(read_trace(io.StringIO('{"t":"create","oid":1}\n')))  # missing size
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.builds(AccessEvent, oid=st.integers(min_value=1, max_value=1000)),
+            st.builds(
+                PointerWriteEvent,
+                src=st.integers(min_value=1, max_value=1000),
+                slot=st.text(
+                    alphabet=st.characters(categories=("L", "N")), min_size=1, max_size=8
+                ),
+                target=st.one_of(st.none(), st.integers(min_value=1, max_value=1000)),
+                dies=st.tuples(st.integers(min_value=1, max_value=1000)),
+            ),
+            st.builds(IdleEvent, ticks=st.integers(min_value=1, max_value=100)),
+        ),
+        max_size=50,
+    )
+)
+def test_round_trip_property(events):
+    buffer = io.StringIO()
+    write_trace(events, buffer)
+    buffer.seek(0)
+    assert list(read_trace(buffer)) == events
