@@ -6,8 +6,8 @@ from repro.experiments.figure1 import format_figure1, run_figure1
 
 
 @pytest.mark.benchmark(group="figure1")
-def test_figure1(benchmark, publish):
-    result = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+def test_figure1(benchmark, publish, jobs):
+    result = benchmark.pedantic(run_figure1, kwargs={"jobs": jobs}, rounds=1, iterations=1)
     publish("figure1", format_figure1(result))
     rows = {r.rate: r for r in result.rows}
     fastest, slowest = min(rows), max(rows)

@@ -6,8 +6,8 @@ from repro.experiments.figure5 import format_figure5, run_figure5
 
 
 @pytest.mark.benchmark(group="figure5")
-def test_figure5(benchmark, publish):
-    result = benchmark.pedantic(run_figure5, rounds=1, iterations=1)
+def test_figure5(benchmark, publish, jobs):
+    result = benchmark.pedantic(run_figure5, kwargs={"jobs": jobs}, rounds=1, iterations=1)
     publish("figure5", format_figure5(result))
 
     oracle = result.sweeps["oracle"]

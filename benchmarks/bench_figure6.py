@@ -6,8 +6,8 @@ from repro.experiments.figure6 import format_figure6, run_figure6
 
 
 @pytest.mark.benchmark(group="figure6")
-def test_figure6(benchmark, publish):
-    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+def test_figure6(benchmark, publish, jobs):
+    result = benchmark.pedantic(run_figure6, kwargs={"jobs": jobs}, rounds=1, iterations=1)
     publish("figure6", format_figure6(result))
 
     cgs = result.series["cgs-cb"]

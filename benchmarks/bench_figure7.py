@@ -17,8 +17,8 @@ def _mean_jump(run):
 
 
 @pytest.mark.benchmark(group="figure7")
-def test_figure7(benchmark, publish):
-    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+def test_figure7(benchmark, publish, jobs):
+    result = benchmark.pedantic(run_figure7, kwargs={"jobs": jobs}, rounds=1, iterations=1)
     publish("figure7", format_figure7(result))
 
     h50 = result.runs[0.5]

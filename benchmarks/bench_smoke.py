@@ -1,0 +1,51 @@
+"""Fast end-to-end smoke target for the parallel experiment engine.
+
+Runs the real CLI (``repro-experiments figure4 --seeds 0 1 --jobs 2``)
+against a throwaway cache directory, twice: the first invocation exercises
+multi-process fan-out and cache population, the second must answer every
+run from the cache without simulating, and both must print byte-identical
+reports. This is the cheap CI check that the engine, the cache and the CLI
+wiring all still hang together — it completes in well under a minute at
+quick scale.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.benchmark(group="smoke")
+def test_engine_smoke(benchmark, tmp_path, capsys):
+    argv = [
+        "figure4",
+        "--seeds",
+        "0",
+        "1",
+        "--jobs",
+        "2",
+        "--progress",
+        "--cache-dir",
+        str(tmp_path / "cache"),
+    ]
+
+    def cold_run():
+        assert main(argv) == 0
+        return capsys.readouterr()
+
+    first = benchmark.pedantic(cold_run, rounds=1, iterations=1)
+    assert "0 cached" in first.out and "simulated" in first.out
+
+    # Second invocation: every run answered from the cache.
+    assert main(argv) == 0
+    second = capsys.readouterr()
+    assert "0 simulated" in second.out
+    assert re.search(r"\[\d+/\d+\].*\(cache\)", second.err)
+
+    def strip_footer(text: str) -> str:
+        return re.sub(r"\[figure4 completed in [^\]]*\]", "", text)
+
+    assert strip_footer(first.out) == strip_footer(second.out)

@@ -6,11 +6,16 @@ and asserts the paper's qualitative claims about that experiment.
 
 Benchmarks default to the quick scale (3 seeds, reduced grids); set
 ``REPRO_FULL=1`` for the paper-scale grids recorded in EXPERIMENTS.md.
+Set ``REPRO_JOBS=<n>`` (or ``0`` for one worker per CPU) to fan the
+simulation runs inside each experiment out over worker processes — the
+reports are byte-identical at any jobs setting.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
+from typing import Optional
 
 import pytest
 
@@ -21,6 +26,20 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def jobs() -> Optional[int]:
+    """Worker-process count for the experiment engine.
+
+    Defaults to 1 (in-process); ``REPRO_JOBS=4`` fans out over 4 workers,
+    ``REPRO_JOBS=0`` means one worker per CPU.
+    """
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if not raw:
+        return 1
+    value = int(raw)
+    return None if value == 0 else value
 
 
 @pytest.fixture

@@ -54,10 +54,19 @@ from repro.oo7 import SMALL, SMALL_PRIME, TINY, OO7Config, Oo7Graph, build_datab
 from repro.sim import (
     AggregateResult,
     AggregateStat,
+    ExperimentSpec,
+    ParallelRunner,
+    PolicySpec,
+    ResultCache,
+    RunStats,
+    SelectionSpec,
     Simulation,
     SimulationConfig,
     SimulationResult,
     SimulationSummary,
+    WorkloadSpec,
+    run_experiment,
+    run_experiment_batch,
     run_one,
     run_seeds,
 )
@@ -84,6 +93,7 @@ __all__ = [
     "CopyingCollector",
     "CoupledSaioSagaPolicy",
     "DecayingOracleBlend",
+    "ExperimentSpec",
     "FgsCbEstimator",
     "FgsHbEstimator",
     "FixedRatePolicy",
@@ -98,15 +108,20 @@ __all__ = [
     "Oo7Graph",
     "OpportunisticPolicy",
     "OracleEstimator",
+    "ParallelRunner",
     "PartitionHeuristicPolicy",
     "PartitionSelectionPolicy",
+    "PolicySpec",
     "RandomSelection",
     "RatePolicy",
+    "ResultCache",
     "RoundRobinSelection",
+    "RunStats",
     "SMALL",
     "SMALL_PRIME",
     "SagaPolicy",
     "SaioPolicy",
+    "SelectionSpec",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
@@ -123,9 +138,12 @@ __all__ = [
     "TransactionalWorkload",
     "Trigger",
     "UpdatedPointerSelection",
+    "WorkloadSpec",
     "build_database",
     "make_estimator",
     "make_selection_policy",
+    "run_experiment",
+    "run_experiment_batch",
     "run_one",
     "run_seeds",
     "trace_stats",

@@ -5,138 +5,85 @@ Examples::
     repro-experiments list
     repro-experiments figure4
     repro-experiments figure5 --seeds 0 1 2 3 --out results/figure5.txt
+    repro-experiments figure8 --jobs 4 --progress
     repro-experiments all --out-dir results/
+    repro-experiments figure4 --no-cache
     REPRO_FULL=1 repro-experiments figure8
 
 Each experiment prints the same tables/plots the benchmark harness writes
-into ``results/``.
+into ``results/``. The set of experiments comes from
+:mod:`repro.experiments.registry` — ``list`` enumerates it.
+
+Simulation runs fan out over ``--jobs`` worker processes (default: one per
+CPU) and are memoised in a content-addressed on-disk cache (default
+``.repro-cache/``, override with ``--cache-dir`` or ``REPRO_CACHE_DIR``,
+disable with ``--no-cache``); a repeated invocation answers every run from
+the cache without simulating. ``--progress`` reports each completed run on
+stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.experiments import (
-    format_figure1,
-    format_figure4,
-    format_figure5,
-    format_figure6,
-    format_figure7,
-    format_figure8,
-    format_table1,
-    run_figure1,
-    run_figure4,
-    run_figure5,
-    run_figure6,
-    run_figure7,
-    run_figure8,
-    run_clock_ablation,
-    run_fixed_heuristic_ablation,
-    run_saio_history_ablation,
-    run_selection_ablation,
-    run_table1,
-    run_weight_ablation,
+from repro.experiments.registry import (
+    Experiment,
+    RunOptions,
+    get_experiment,
+    iter_experiments,
 )
-from repro.experiments import (
-    format_clustering_experiment,
-    format_estimator_space,
-    run_clustering_experiment,
-    run_estimator_space,
-)
-from repro.experiments.ablations import (
-    format_clock_ablation,
-    format_fixed_heuristic,
-    format_saio_history,
-    format_selection_ablation,
-    format_weight_ablation,
-)
+from repro.sim.cache import ResultCache
+from repro.sim.engine import SeedOutcome
 
-
-def _figure1(seeds):
-    return format_figure1(run_figure1(seeds=seeds))
-
-
-def _table1(seeds):
-    return format_table1(run_table1())
-
-
-def _figure4(seeds):
-    return format_figure4(run_figure4(seeds=seeds))
-
-
-def _figure5(seeds):
-    return format_figure5(run_figure5(seeds=seeds))
-
-
-def _figure6(seeds):
-    seed = seeds[0] if seeds else 0
-    return format_figure6(run_figure6(seed=seed))
-
-
-def _figure7(seeds):
-    seed = seeds[0] if seeds else 0
-    return format_figure7(run_figure7(seed=seed))
-
-
-def _figure8(seeds):
-    return format_figure8(run_figure8(seeds=seeds))
-
-
-def _ablation_clustering(seeds):
-    return format_clustering_experiment(run_clustering_experiment(seeds=seeds))
-
-
-def _ablation_estimators(seeds):
-    return format_estimator_space(run_estimator_space(seeds=seeds))
-
-
-def _describe(seeds):
-    from repro.oo7 import SMALL_PRIME, describe_phases, describe_structure
-
-    return "\n\n".join([describe_phases(), describe_structure(SMALL_PRIME)])
-
-
-def _ablation_clock(seeds):
-    return format_clock_ablation(run_clock_ablation(seeds=seeds))
-
-
-def _ablation_fixed(seeds):
-    return format_fixed_heuristic(run_fixed_heuristic_ablation(seeds=seeds))
-
-
-def _ablation_history(seeds):
-    return format_saio_history(run_saio_history_ablation(seeds=seeds))
-
-
-def _ablation_selection(seeds):
-    return format_selection_ablation(run_selection_ablation(seeds=seeds))
-
-
-def _ablation_weight(seeds):
-    return format_weight_ablation(run_weight_ablation(seeds=seeds))
-
-
-EXPERIMENTS: dict[str, tuple[Callable[[Optional[list[int]]], str], str]] = {
-    "table1": (_table1, "OO7 database parameters and generated-database verification"),
-    "figure1": (_figure1, "fixed collection rate vs I/O and garbage collected"),
-    "figure4": (_figure4, "SAIO accuracy sweep"),
-    "figure5": (_figure5, "SAGA accuracy sweep per estimator"),
-    "figure6": (_figure6, "time-varying garbage estimation (CGS/CB, FGS/HB)"),
-    "figure7": (_figure7, "FGS/HB history parameter study + rate/yield traces"),
-    "figure8": (_figure8, "connectivity sensitivity (6 and 9)"),
-    "describe": (_describe, "Figures 2 and 3: phases and database structure"),
-    "ablation-clock": (_ablation_clock, "§2 overwrite clock vs allocation clock"),
-    "ablation-clustering": (_ablation_clustering, "§3.4 reclustering behaviour of the reorganisations"),
-    "ablation-estimators": (_ablation_estimators, "§2.4 full 2x2 estimator design space"),
-    "ablation-fixed": (_ablation_fixed, "§2.1 partition-heuristic fixed rate failure"),
-    "ablation-history": (_ablation_history, "§4.1.1 SAIO history parameter"),
-    "ablation-selection": (_ablation_selection, "§4.1.2 CGS/CB vs selection policy"),
-    "ablation-weight": (_ablation_weight, "§2.3 SAGA slope Weight"),
+#: Name → experiment, registry-driven (kept as a module attribute because
+#: programmatic callers and the tests introspect it).
+EXPERIMENTS: dict[str, Experiment] = {
+    exp.name: exp for exp in iter_experiments()
 }
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class _ProgressReporter:
+    """Tallies cache hits/misses; optionally narrates each run to stderr."""
+
+    def __init__(self, verbose: bool = False, stream=None):
+        self.verbose = verbose
+        self.stream = stream if stream is not None else sys.stderr
+        self.hits = 0
+        self.misses = 0
+
+    def __call__(self, outcome: SeedOutcome) -> None:
+        if outcome.cached:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self.verbose:
+            label = outcome.label or "run"
+            source = "cache" if outcome.cached else f"{outcome.wall_time:.2f}s"
+            print(
+                f"  [{outcome.completed}/{outcome.total}] {label} "
+                f"seed={outcome.seed} ({source})",
+                file=self.stream,
+            )
+
+    def summary(self) -> str:
+        total = self.hits + self.misses
+        if not total:
+            return ""
+        return f"; {total} runs: {self.hits} cached, {self.misses} simulated"
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -160,6 +107,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="explicit seed list (default: 3 seeds, or 10 with REPRO_FULL=1)",
     )
     parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        help=(
+            "worker processes for simulation fan-out "
+            "(default: one per CPU; 1 = run in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory for the on-disk result cache "
+            f"(default: $REPRO_CACHE_DIR or {DEFAULT_CACHE_DIR!r})"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (every run simulates)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed simulation run (stderr)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -174,12 +149,27 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_named(name: str, seeds: Optional[list[int]]) -> str:
-    runner, _description = EXPERIMENTS[name]
+def _resolve_cache(args) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    root = args.cache_dir
+    if root is None:
+        root = Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+    return ResultCache(root)
+
+
+def _run_named(
+    name: str, seeds: Optional[list[int]], options: RunOptions
+) -> str:
+    exp = get_experiment(name)
+    reporter = options.progress
     started = time.time()
-    report = runner(seeds)
+    report = exp.run(seeds, options)
     elapsed = time.time() - started
-    return f"{report}\n\n[{name} completed in {elapsed:.1f}s]\n"
+    stats = (
+        reporter.summary() if isinstance(reporter, _ProgressReporter) else ""
+    )
+    return f"{report}\n\n[{name} completed in {elapsed:.1f}s{stats}]\n"
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -187,13 +177,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
-        for name in sorted(EXPERIMENTS):
-            print(f"{name.ljust(width)}  {EXPERIMENTS[name][1]}")
+        for exp in iter_experiments():
+            print(f"{exp.name.ljust(width)}  {exp.description}")
         return 0
 
+    cache = _resolve_cache(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        report = _run_named(name, args.seeds)
+        options = RunOptions(
+            jobs=args.jobs,
+            cache=cache,
+            progress=_ProgressReporter(verbose=args.progress),
+        )
+        report = _run_named(name, args.seeds, options)
         print(report)
         target = None
         if args.out_dir is not None:

@@ -1,9 +1,12 @@
 """Experiment drivers: one module per table/figure plus ablations.
 
 Every driver exposes ``run_<name>()`` returning structured results and
-``format_<name>()`` rendering them as terminal tables/plots. The benchmark
-harness under ``benchmarks/`` wraps these, and the CLI
-(``python -m repro``) runs them directly.
+``format_<name>()`` rendering them as terminal tables/plots; each is also
+registered by name in :mod:`repro.experiments.registry`, which the CLI
+(``python -m repro``) enumerates. The benchmark harness under
+``benchmarks/`` wraps the drivers directly. Sim-based drivers accept
+``jobs=``/``cache=``/``progress=`` and fan out through
+:func:`repro.sim.engine.run_experiment_batch`.
 """
 
 from repro.experiments.ablations import (
@@ -28,10 +31,26 @@ from repro.experiments.figure5 import format_figure5, run_figure5
 from repro.experiments.figure6 import format_figure6, run_figure6
 from repro.experiments.figure7 import format_figure7, run_figure7
 from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.registry import (
+    Experiment,
+    RunOptions,
+    experiment,
+    experiment_names,
+    get_experiment,
+    iter_experiments,
+    register_experiment,
+)
 from repro.experiments.table1 import format_table1, run_table1
 
 __all__ = [
+    "Experiment",
+    "RunOptions",
     "default_seeds",
+    "experiment",
+    "experiment_names",
+    "get_experiment",
+    "iter_experiments",
+    "register_experiment",
     "format_figure1",
     "format_figure4",
     "format_figure5",

@@ -14,34 +14,31 @@
   heuristic would provide a more accurate estimate."
 * **SAGA slope Weight (§2.3)** — sensitivity of SAGA/oracle accuracy to the
   slope-smoothing factor around the paper's 0.7.
+
+All drivers run on the declarative :class:`~repro.sim.spec.ExperimentSpec`
+engine, so every ablation parallelises across seeds/settings and caches
+per-run results when the caller passes ``jobs`` / ``cache``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.estimators import CgsCbEstimator, OracleEstimator
-from repro.core.fixed import (
-    AllocationRatePolicy,
-    FixedRatePolicy,
-    PartitionHeuristicPolicy,
-)
-from repro.core.saga import SagaPolicy
-from repro.core.saio import UNLIMITED_HISTORY, SaioPolicy
+from repro.core.fixed import PartitionHeuristicPolicy
+from repro.core.saio import UNLIMITED_HISTORY
 from repro.events import trace_stats
 from repro.experiments.common import (
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
     SAIO_PREAMBLE,
     default_seeds,
-    oo7_trace_factory,
+    oo7_spec,
     paper_store_config,
-    sim_config,
 )
-from repro.gc.selection import RandomSelection, UpdatedPointerSelection
 from repro.oo7.config import OO7Config
+from repro.sim.engine import run_experiment, run_experiment_batch
 from repro.sim.report import format_table
-from repro.sim.runner import run_seeds
+from repro.sim.spec import PolicySpec, SelectionSpec
 from repro.workload.application import Oo7Application
 
 
@@ -59,7 +56,11 @@ class FixedHeuristicResult:
 
 
 def run_fixed_heuristic_ablation(
-    seeds=None, config: OO7Config = DEFAULT_CONFIG
+    seeds=None,
+    config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> FixedHeuristicResult:
     seeds = seeds if seeds is not None else default_seeds()
     store = paper_store_config()
@@ -72,17 +73,22 @@ def run_fixed_heuristic_ablation(
     stats = trace_stats(Oo7Application(config, seed=seeds[0]).events())
     prediction = heuristic.avg_object_size / heuristic.avg_connectivity
 
-    rows = []
     rates = [heuristic.overwrites_per_collection, 800, 200, 50]
     labels = ["heuristic (§2.1)", "fixed 800", "fixed 200", "fixed 50"]
-    trace_factory = oo7_trace_factory(config)
-    for label, rate in zip(labels, rates):
-        aggregate = run_seeds(
-            policy_factory=lambda r=rate: FixedRatePolicy(r),
-            trace_factory=trace_factory,
-            seeds=seeds,
-            config=sim_config(SAGA_PREAMBLE),
+    specs = [
+        oo7_spec(
+            PolicySpec("fixed", {"overwrites_per_collection": rate}),
+            config,
+            SAGA_PREAMBLE,
+            label=f"ablation-fixed {label}",
         )
+        for label, rate in zip(labels, rates)
+    ]
+    aggregates = run_experiment_batch(
+        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+    )
+    rows = []
+    for label, rate, aggregate in zip(labels, rates, aggregates):
         rows.append(
             [
                 label,
@@ -131,6 +137,9 @@ def run_clock_ablation(
     collections_budget: int = 50,
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> ClockAblationResult:
     """Compare overwrite-triggered vs allocation-triggered fixed policies.
 
@@ -152,29 +161,40 @@ def run_clock_ablation(
     policies = [
         (
             "overwrite clock",
-            lambda: FixedRatePolicy(max(1.0, total_overwrites / collections_budget)),
+            PolicySpec(
+                "fixed",
+                {
+                    "overwrites_per_collection": max(
+                        1.0, total_overwrites / collections_budget
+                    )
+                },
+            ),
         ),
         (
             "allocation clock",
-            lambda: AllocationRatePolicy(
-                max(1.0, total_allocated / collections_budget)
+            PolicySpec(
+                "allocation",
+                {
+                    "bytes_per_collection": max(
+                        1.0, total_allocated / collections_budget
+                    )
+                },
             ),
         ),
     ]
-    trace_factory = oo7_trace_factory(config)
     rows = []
-    for label, policy_factory in policies:
+    for label, policy_spec in policies:
+        aggregate = run_experiment(
+            oo7_spec(policy_spec, config, SAGA_PREAMBLE, label=f"ablation-clock {label}"),
+            seeds=seeds,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+            keep_records=True,
+        )
         zero_yield = []
         gendb_collections = []
-        for seed in seeds:
-            aggregate = run_seeds(
-                policy_factory=policy_factory,
-                trace_factory=trace_factory,
-                seeds=[seed],
-                config=sim_config(SAGA_PREAMBLE),
-                keep_results=True,
-            )
-            records = aggregate.results[0].collections
+        for records in aggregate.records:
             zero_yield.append(
                 sum(1 for r in records if r.reclaimed_bytes == 0)
                 / max(1, len(records))
@@ -182,12 +202,6 @@ def run_clock_ablation(
             gendb_collections.append(
                 sum(1 for r in records if r.phase == "GenDB")
             )
-        aggregate = run_seeds(
-            policy_factory=policy_factory,
-            trace_factory=trace_factory,
-            seeds=seeds,
-            config=sim_config(SAGA_PREAMBLE),
-        )
         rows.append(
             [
                 label,
@@ -240,31 +254,39 @@ def run_saio_history_ablation(
     histories=(0, 4, UNLIMITED_HISTORY),
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> SaioHistoryResult:
     seeds = seeds if seeds is not None else default_seeds()
-    trace_factory = oo7_trace_factory(config)
+    settings = [
+        (fraction, history) for fraction in fractions for history in histories
+    ]
+    specs = [
+        oo7_spec(
+            PolicySpec("saio", {"io_fraction": fraction, "c_hist": history}),
+            config,
+            SAIO_PREAMBLE,
+            label=f"ablation-history saio@{fraction:.0%} c_hist={history:g}",
+        )
+        for fraction, history in settings
+    ]
+    aggregates = run_experiment_batch(
+        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+    )
     rows = []
-    for fraction in fractions:
-        for history in histories:
-            aggregate = run_seeds(
-                policy_factory=lambda f=fraction, h=history: SaioPolicy(
-                    io_fraction=f, c_hist=h
-                ),
-                trace_factory=trace_factory,
-                seeds=seeds,
-                config=sim_config(SAIO_PREAMBLE),
-            )
-            stat = aggregate.gc_io_fraction
-            label = "inf" if history == UNLIMITED_HISTORY else f"{history:g}"
-            rows.append(
-                [
-                    f"{fraction * 100:.0f}%",
-                    label,
-                    f"{stat.mean * 100:.2f}%",
-                    f"{(stat.mean - fraction) * 100:+.2f}%",
-                    f"{stat.spread * 100:.2f}%",
-                ]
-            )
+    for (fraction, history), aggregate in zip(settings, aggregates):
+        stat = aggregate.gc_io_fraction
+        label = "inf" if history == UNLIMITED_HISTORY else f"{history:g}"
+        rows.append(
+            [
+                f"{fraction * 100:.0f}%",
+                label,
+                f"{stat.mean * 100:.2f}%",
+                f"{(stat.mean - fraction) * 100:+.2f}%",
+                f"{stat.spread * 100:.2f}%",
+            ]
+        )
     return SaioHistoryResult(rows=rows)
 
 
@@ -287,7 +309,12 @@ class SelectionAblationResult:
 
 
 def run_selection_ablation(
-    requested: float = 0.10, seeds=None, config: OO7Config = DEFAULT_CONFIG
+    requested: float = 0.10,
+    seeds=None,
+    config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> SelectionAblationResult:
     """Measure CGS/CB *estimation* bias under each selection policy.
 
@@ -298,27 +325,30 @@ def run_selection_ablation(
     ``C · p`` overestimates.
     """
     seeds = seeds if seeds is not None else default_seeds()
-    trace_factory = oo7_trace_factory(config)
     rows = []
-    for label, selection_factory in (
-        ("updated-pointer", lambda seed: UpdatedPointerSelection()),
-        ("random", lambda seed: RandomSelection(seed=seed)),
+    for label, selection_kind in (
+        ("updated-pointer", "updated-pointer"),
+        ("random", "random"),
     ):
+        aggregate = run_experiment(
+            oo7_spec(
+                PolicySpec(
+                    "saga", {"garbage_fraction": requested, "estimator": "cgs-cb"}
+                ),
+                config,
+                SAGA_PREAMBLE,
+                selection=SelectionSpec(selection_kind),
+                label=f"ablation-selection {label}",
+            ),
+            seeds=seeds,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+            keep_records=True,
+        )
         biases = []
         abs_errors = []
-        achieved = []
-        for seed in seeds:
-            aggregate = run_seeds(
-                policy_factory=lambda: SagaPolicy(
-                    garbage_fraction=requested, estimator=CgsCbEstimator()
-                ),
-                trace_factory=trace_factory,
-                seeds=[seed],
-                selection_factory=selection_factory,
-                config=sim_config(SAGA_PREAMBLE),
-                keep_results=True,
-            )
-            records = aggregate.results[0].collections
+        for records in aggregate.records:
             pairs = [
                 (r.estimated_garbage_fraction, r.actual_garbage_fraction)
                 for r in records
@@ -327,7 +357,7 @@ def run_selection_ablation(
             if pairs:
                 biases.append(sum(e - a for e, a in pairs) / len(pairs))
                 abs_errors.append(sum(abs(e - a) for e, a in pairs) / len(pairs))
-            achieved.append(aggregate.summaries[0].garbage_fraction_mean)
+        achieved = [s.garbage_fraction_mean for s in aggregate.summaries]
         rows.append(
             [
                 label,
@@ -368,21 +398,32 @@ def run_weight_ablation(
     weights=(0.0, 0.4, 0.7, 0.9),
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> WeightAblationResult:
     seeds = seeds if seeds is not None else default_seeds()
-    trace_factory = oo7_trace_factory(config)
-    rows = []
-    for weight in weights:
-        aggregate = run_seeds(
-            policy_factory=lambda w=weight: SagaPolicy(
-                garbage_fraction=requested,
-                estimator=OracleEstimator(),
-                weight=w,
+    specs = [
+        oo7_spec(
+            PolicySpec(
+                "saga",
+                {
+                    "garbage_fraction": requested,
+                    "estimator": "oracle",
+                    "weight": weight,
+                },
             ),
-            trace_factory=trace_factory,
-            seeds=seeds,
-            config=sim_config(SAGA_PREAMBLE),
+            config,
+            SAGA_PREAMBLE,
+            label=f"ablation-weight w={weight:g}",
         )
+        for weight in weights
+    ]
+    aggregates = run_experiment_batch(
+        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+    )
+    rows = []
+    for weight, aggregate in zip(weights, aggregates):
         stat = aggregate.garbage_fraction
         rows.append(
             [

@@ -25,6 +25,7 @@ from typing import Iterable, Sequence
 
 from repro.oo7.config import SMALL_PRIME, OO7Config
 from repro.sim.simulator import SimulationConfig
+from repro.sim.spec import ExperimentSpec, PolicySpec, SelectionSpec, WorkloadSpec
 from repro.storage.heap import StoreConfig
 from repro.workload.application import Oo7Application
 from repro.events import TraceEvent
@@ -61,6 +62,27 @@ def oo7_trace_factory(config: OO7Config):
         return Oo7Application(config, seed=seed).events()
 
     return factory
+
+
+def oo7_spec(
+    policy: PolicySpec,
+    config: OO7Config,
+    preamble: int,
+    selection: SelectionSpec = None,
+    label: str = "",
+) -> ExperimentSpec:
+    """An :class:`ExperimentSpec` over the OO7 application workload.
+
+    The declarative unit every driver hands the parallel engine: one policy
+    setting, the paper's store geometry, and the per-policy preamble.
+    """
+    return ExperimentSpec(
+        policy=policy,
+        workload=WorkloadSpec("oo7", {"config": config}),
+        selection=selection if selection is not None else SelectionSpec(),
+        sim=sim_config(preamble),
+        label=label,
+    )
 
 
 @dataclass(frozen=True)

@@ -18,18 +18,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.estimators import make_estimator
-from repro.core.saga import SagaPolicy
 from repro.experiments.common import (
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
     default_seeds,
-    oo7_trace_factory,
-    sim_config,
+    oo7_spec,
 )
 from repro.oo7.config import OO7Config
+from repro.sim.engine import run_experiment_batch
 from repro.sim.report import format_table
-from repro.sim.runner import run_seeds
+from repro.sim.spec import PolicySpec
 
 ESTIMATOR_SPACE = ("oracle", "cgs-cb", "cgs-hb", "fgs-cb", "fgs-hb")
 
@@ -59,24 +57,39 @@ def run_estimator_space(
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
     estimators=ESTIMATOR_SPACE,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> EstimatorSpaceResult:
     seeds = seeds if seeds is not None else default_seeds()
-    trace_factory = oo7_trace_factory(config)
+    specs = [
+        oo7_spec(
+            PolicySpec(
+                "saga",
+                {
+                    "garbage_fraction": requested,
+                    "estimator": name,
+                    "history": history,
+                },
+            ),
+            config,
+            SAGA_PREAMBLE,
+            label=f"estimator-space saga/{name}",
+        )
+        for name in estimators
+    ]
+    aggregates = run_experiment_batch(
+        specs,
+        seeds=seeds,
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        keep_records=True,
+    )
     rows = []
-    for name in estimators:
+    for name, aggregate in zip(estimators, aggregates):
         biases, abs_errors, jitters = [], [], []
-        for seed in seeds:
-            aggregate = run_seeds(
-                policy_factory=lambda n=name: SagaPolicy(
-                    garbage_fraction=requested,
-                    estimator=make_estimator(n, history=history),
-                ),
-                trace_factory=trace_factory,
-                seeds=[seed],
-                config=sim_config(SAGA_PREAMBLE),
-                keep_results=True,
-            )
-            records = aggregate.results[0].collections
+        for records in aggregate.records:
             pairs = [
                 (r.estimated_garbage_fraction, r.actual_garbage_fraction)
                 for r in records
@@ -89,15 +102,6 @@ def run_estimator_space(
                 jumps = [abs(b - a) for a, b in zip(estimates, estimates[1:])]
                 jitters.append(sum(jumps) / max(1, len(jumps)))
 
-        aggregate = run_seeds(
-            policy_factory=lambda n=name: SagaPolicy(
-                garbage_fraction=requested,
-                estimator=make_estimator(n, history=history),
-            ),
-            trace_factory=trace_factory,
-            seeds=seeds,
-            config=sim_config(SAGA_PREAMBLE),
-        )
         stat = aggregate.garbage_fraction
         rows.append(
             EstimatorRow(

@@ -15,18 +15,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.fixed import FixedRatePolicy
 from repro.experiments.common import (
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
     default_seeds,
     full_scale,
-    oo7_trace_factory,
-    sim_config,
+    oo7_spec,
 )
 from repro.oo7.config import OO7Config
+from repro.sim.engine import run_experiment_batch
 from repro.sim.report import format_table
-from repro.sim.runner import run_seeds
+from repro.sim.spec import PolicySpec
 
 #: The paper's interesting range: 50 ("excessive I/O") to 800 ("little
 #: garbage collected") overwrites per collection.
@@ -56,19 +55,29 @@ class Figure1Result:
 
 
 def run_figure1(
-    rates=None, seeds=None, config: OO7Config = DEFAULT_CONFIG
+    rates=None,
+    seeds=None,
+    config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> Figure1Result:
     rates = rates if rates is not None else (FULL_RATES if full_scale() else QUICK_RATES)
     seeds = seeds if seeds is not None else default_seeds()
-    trace_factory = oo7_trace_factory(config)
-    rows = []
-    for rate in rates:
-        aggregate = run_seeds(
-            policy_factory=lambda rate=rate: FixedRatePolicy(rate),
-            trace_factory=trace_factory,
-            seeds=seeds,
-            config=sim_config(SAGA_PREAMBLE),
+    specs = [
+        oo7_spec(
+            PolicySpec("fixed", {"overwrites_per_collection": rate}),
+            config,
+            SAGA_PREAMBLE,
+            label=f"figure1 fixed@{rate:g}",
         )
+        for rate in rates
+    ]
+    aggregates = run_experiment_batch(
+        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+    )
+    rows = []
+    for rate, aggregate in zip(rates, aggregates):
         total = aggregate.total_io
         collected = aggregate.total_reclaimed
         rows.append(

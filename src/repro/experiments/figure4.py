@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.saio import SaioPolicy
 from repro.experiments.common import (
     DEFAULT_CONFIG,
     SAIO_PREAMBLE,
@@ -24,13 +23,13 @@ from repro.experiments.common import (
     SweepPoint,
     default_seeds,
     full_scale,
-    oo7_trace_factory,
-    sim_config,
+    oo7_spec,
     sweep_rows,
 )
 from repro.oo7.config import OO7Config
+from repro.sim.engine import run_experiment_batch
 from repro.sim.report import format_table
-from repro.sim.runner import run_seeds
+from repro.sim.spec import PolicySpec
 
 FULL_FRACTIONS = (0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.40, 0.50, 0.65, 0.80)
 QUICK_FRACTIONS = (0.05, 0.10, 0.20, 0.40, 0.65)
@@ -49,6 +48,9 @@ def run_figure4(
     seeds=None,
     c_hist: float = 0,
     config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> Figure4Result:
     fractions = (
         fractions
@@ -56,15 +58,20 @@ def run_figure4(
         else (FULL_FRACTIONS if full_scale() else QUICK_FRACTIONS)
     )
     seeds = seeds if seeds is not None else default_seeds()
-    trace_factory = oo7_trace_factory(config)
-    points = []
-    for fraction in fractions:
-        aggregate = run_seeds(
-            policy_factory=lambda f=fraction: SaioPolicy(io_fraction=f, c_hist=c_hist),
-            trace_factory=trace_factory,
-            seeds=seeds,
-            config=sim_config(SAIO_PREAMBLE),
+    specs = [
+        oo7_spec(
+            PolicySpec("saio", {"io_fraction": fraction, "c_hist": c_hist}),
+            config,
+            SAIO_PREAMBLE,
+            label=f"figure4 saio@{fraction:.0%}",
         )
+        for fraction in fractions
+    ]
+    aggregates = run_experiment_batch(
+        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+    )
+    points = []
+    for fraction, aggregate in zip(fractions, aggregates):
         stat = aggregate.gc_io_fraction
         points.append(
             SweepPoint(

@@ -18,8 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.estimators import make_estimator
-from repro.core.saga import SagaPolicy
 from repro.experiments.common import (
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
@@ -27,13 +25,13 @@ from repro.experiments.common import (
     SweepPoint,
     default_seeds,
     full_scale,
-    oo7_trace_factory,
-    sim_config,
+    oo7_spec,
     sweep_rows,
 )
 from repro.oo7.config import OO7Config
+from repro.sim.engine import run_experiment_batch
 from repro.sim.report import format_table
-from repro.sim.runner import run_seeds
+from repro.sim.spec import PolicySpec
 
 FULL_FRACTIONS = (0.02, 0.05, 0.08, 0.10, 0.15, 0.20, 0.25, 0.30)
 QUICK_FRACTIONS = (0.05, 0.10, 0.20, 0.30)
@@ -54,6 +52,9 @@ def run_figure5(
     estimators=ESTIMATORS,
     history: float = 0.8,
     config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> Figure5Result:
     fractions = (
         fractions
@@ -61,30 +62,41 @@ def run_figure5(
         else (FULL_FRACTIONS if full_scale() else QUICK_FRACTIONS)
     )
     seeds = seeds if seeds is not None else default_seeds()
-    trace_factory = oo7_trace_factory(config)
-    sweeps: dict[str, list[SweepPoint]] = {}
-    for estimator_name in estimators:
-        points = []
-        for fraction in fractions:
-            aggregate = run_seeds(
-                policy_factory=lambda f=fraction, e=estimator_name: SagaPolicy(
-                    garbage_fraction=f,
-                    estimator=make_estimator(e, history=history),
-                ),
-                trace_factory=trace_factory,
-                seeds=seeds,
-                config=sim_config(SAGA_PREAMBLE),
+    settings = [
+        (estimator_name, fraction)
+        for estimator_name in estimators
+        for fraction in fractions
+    ]
+    specs = [
+        oo7_spec(
+            PolicySpec(
+                "saga",
+                {
+                    "garbage_fraction": fraction,
+                    "estimator": estimator_name,
+                    "history": history,
+                },
+            ),
+            config,
+            SAGA_PREAMBLE,
+            label=f"figure5 saga/{estimator_name}@{fraction:.0%}",
+        )
+        for estimator_name, fraction in settings
+    ]
+    aggregates = run_experiment_batch(
+        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+    )
+    sweeps: dict[str, list[SweepPoint]] = {name: [] for name in estimators}
+    for (estimator_name, fraction), aggregate in zip(settings, aggregates):
+        stat = aggregate.garbage_fraction
+        sweeps[estimator_name].append(
+            SweepPoint(
+                requested=fraction,
+                mean=stat.mean,
+                minimum=stat.minimum,
+                maximum=stat.maximum,
             )
-            stat = aggregate.garbage_fraction
-            points.append(
-                SweepPoint(
-                    requested=fraction,
-                    mean=stat.mean,
-                    minimum=stat.minimum,
-                    maximum=stat.maximum,
-                )
-            )
-        sweeps[estimator_name] = points
+        )
     return Figure5Result(
         sweeps=sweeps, history=history, seeds=list(seeds), config=config
     )

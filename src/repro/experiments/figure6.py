@@ -17,14 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.estimators import make_estimator
-from repro.core.saga import SagaPolicy
-from repro.experiments.common import DEFAULT_CONFIG, SAGA_PREAMBLE, sim_config
+from repro.experiments.common import DEFAULT_CONFIG, SAGA_PREAMBLE, oo7_spec
 from repro.oo7.config import OO7Config
+from repro.sim.engine import run_experiment_batch
 from repro.sim.metrics import CollectionRecord
 from repro.sim.report import ascii_plot, format_table
-from repro.sim.runner import run_one
-from repro.workload.application import Oo7Application
+from repro.sim.spec import PolicySpec
 
 
 @dataclass
@@ -59,19 +57,37 @@ def run_figure6(
     history: float = 0.8,
     seed: int = 0,
     config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> Figure6Result:
+    specs = [
+        oo7_spec(
+            PolicySpec(
+                "saga",
+                {
+                    "garbage_fraction": requested,
+                    "estimator": name,
+                    "history": history,
+                },
+            ),
+            config,
+            SAGA_PREAMBLE,
+            label=f"figure6 saga/{name}",
+        )
+        for name in estimators
+    ]
+    aggregates = run_experiment_batch(
+        specs,
+        seeds=[seed],
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        keep_records=True,
+    )
     series = {}
-    for name in estimators:
-        policy = SagaPolicy(
-            garbage_fraction=requested,
-            estimator=make_estimator(name, history=history),
-        )
-        result = run_one(
-            policy,
-            Oo7Application(config, seed=seed).events(),
-            config=sim_config(SAGA_PREAMBLE),
-        )
-        series[name] = Figure6Series(estimator=name, records=result.collections)
+    for name, aggregate in zip(estimators, aggregates):
+        series[name] = Figure6Series(estimator=name, records=aggregate.records[0])
     return Figure6Result(series=series, requested=requested, seed=seed, config=config)
 
 

@@ -22,14 +22,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.estimators import FgsHbEstimator
-from repro.core.saga import SagaPolicy
-from repro.experiments.common import DEFAULT_CONFIG, SAGA_PREAMBLE, sim_config
+from repro.experiments.common import DEFAULT_CONFIG, SAGA_PREAMBLE, oo7_spec
 from repro.oo7.config import OO7Config
+from repro.sim.engine import run_experiment_batch
 from repro.sim.metrics import CollectionRecord
 from repro.sim.report import ascii_plot, format_table
-from repro.sim.runner import run_one
-from repro.workload.application import Oo7Application
+from repro.sim.spec import PolicySpec
 
 HISTORY_VALUES = (0.5, 0.8, 0.95)
 
@@ -71,19 +69,37 @@ def run_figure7(
     histories=HISTORY_VALUES,
     seed: int = 0,
     config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> Figure7Result:
+    specs = [
+        oo7_spec(
+            PolicySpec(
+                "saga",
+                {
+                    "garbage_fraction": requested,
+                    "estimator": "fgs-hb",
+                    "history": history,
+                },
+            ),
+            config,
+            SAGA_PREAMBLE,
+            label=f"figure7 fgs-hb h={history:g}",
+        )
+        for history in histories
+    ]
+    aggregates = run_experiment_batch(
+        specs,
+        seeds=[seed],
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        keep_records=True,
+    )
     runs = {}
-    for history in histories:
-        policy = SagaPolicy(
-            garbage_fraction=requested,
-            estimator=FgsHbEstimator(history=history),
-        )
-        result = run_one(
-            policy,
-            Oo7Application(config, seed=seed).events(),
-            config=sim_config(SAGA_PREAMBLE),
-        )
-        runs[history] = Figure7Run(history=history, records=result.collections)
+    for history, aggregate in zip(histories, aggregates):
+        runs[history] = Figure7Run(history=history, records=aggregate.records[0])
     return Figure7Result(runs=runs, requested=requested, seed=seed, config=config)
 
 

@@ -11,9 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.estimators import make_estimator
-from repro.core.saga import SagaPolicy
-from repro.core.saio import SaioPolicy
 from repro.experiments.common import (
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
@@ -22,13 +19,13 @@ from repro.experiments.common import (
     SweepPoint,
     default_seeds,
     full_scale,
-    oo7_trace_factory,
-    sim_config,
+    oo7_spec,
     sweep_rows,
 )
 from repro.oo7.config import OO7Config
+from repro.sim.engine import run_experiment_batch
 from repro.sim.report import format_table
-from repro.sim.runner import run_seeds
+from repro.sim.spec import PolicySpec
 
 FULL_FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.30)
 QUICK_FRACTIONS = (0.05, 0.10, 0.20)
@@ -50,6 +47,9 @@ def run_figure8(
     connectivities=CONNECTIVITIES,
     estimators=("oracle", "fgs-hb"),
     config: OO7Config = DEFAULT_CONFIG,
+    jobs=1,
+    cache=None,
+    progress=None,
 ) -> Figure8Result:
     fractions = (
         fractions
@@ -57,42 +57,55 @@ def run_figure8(
         else (FULL_FRACTIONS if full_scale() else QUICK_FRACTIONS)
     )
     seeds = seeds if seeds is not None else default_seeds()
-    saio: dict[int, list[SweepPoint]] = {}
-    saga: dict[tuple[str, int], list[SweepPoint]] = {}
+
+    # One flat batch over every (connectivity, policy, fraction) setting so
+    # the whole figure fans out across workers at once.
+    settings = []
+    specs = []
     for connectivity in connectivities:
         variant = config.with_connectivity(connectivity)
-        trace_factory = oo7_trace_factory(variant)
-
-        points = []
         for fraction in fractions:
-            aggregate = run_seeds(
-                policy_factory=lambda f=fraction: SaioPolicy(io_fraction=f),
-                trace_factory=trace_factory,
-                seeds=seeds,
-                config=sim_config(SAIO_PREAMBLE),
+            settings.append(("saio", connectivity, fraction))
+            specs.append(
+                oo7_spec(
+                    PolicySpec("saio", {"io_fraction": fraction}),
+                    variant,
+                    SAIO_PREAMBLE,
+                    label=f"figure8 saio conn={connectivity}@{fraction:.0%}",
+                )
             )
-            stat = aggregate.gc_io_fraction
-            points.append(
-                SweepPoint(fraction, stat.mean, stat.minimum, stat.maximum)
-            )
-        saio[connectivity] = points
-
         for estimator_name in estimators:
-            points = []
             for fraction in fractions:
-                aggregate = run_seeds(
-                    policy_factory=lambda f=fraction, e=estimator_name: SagaPolicy(
-                        garbage_fraction=f, estimator=make_estimator(e)
-                    ),
-                    trace_factory=trace_factory,
-                    seeds=seeds,
-                    config=sim_config(SAGA_PREAMBLE),
+                settings.append((estimator_name, connectivity, fraction))
+                specs.append(
+                    oo7_spec(
+                        PolicySpec(
+                            "saga",
+                            {"garbage_fraction": fraction, "estimator": estimator_name},
+                        ),
+                        variant,
+                        SAGA_PREAMBLE,
+                        label=(
+                            f"figure8 saga/{estimator_name} "
+                            f"conn={connectivity}@{fraction:.0%}"
+                        ),
+                    )
                 )
-                stat = aggregate.garbage_fraction
-                points.append(
-                    SweepPoint(fraction, stat.mean, stat.minimum, stat.maximum)
-                )
-            saga[(estimator_name, connectivity)] = points
+
+    aggregates = run_experiment_batch(
+        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+    )
+
+    saio: dict[int, list[SweepPoint]] = {}
+    saga: dict[tuple[str, int], list[SweepPoint]] = {}
+    for (kind, connectivity, fraction), aggregate in zip(settings, aggregates):
+        if kind == "saio":
+            stat = aggregate.gc_io_fraction
+            bucket = saio.setdefault(connectivity, [])
+        else:
+            stat = aggregate.garbage_fraction
+            bucket = saga.setdefault((kind, connectivity), [])
+        bucket.append(SweepPoint(fraction, stat.mean, stat.minimum, stat.maximum))
     return Figure8Result(saio=saio, saga=saga, seeds=list(seeds), config=config)
 
 

@@ -1,10 +1,25 @@
-"""Trace-driven simulation: engine, metrics, multi-seed runner, reports."""
+"""Trace-driven simulation: engine, metrics, multi-seed runner, reports.
 
+Two ways to run the paper's multi-seed protocol live here:
+
+* :func:`run_seeds` — in-process, factory-based (arbitrary callables);
+* :func:`run_experiment` / :func:`run_experiment_batch` — declarative
+  :class:`ExperimentSpec`-based, with multi-process fan-out
+  (:class:`ParallelRunner`) and on-disk memoisation (:class:`ResultCache`).
+"""
+
+from repro.sim.cache import CachedRun, ResultCache, spec_fingerprint
 from repro.sim.clustering import (
     SpreadStats,
     composite_spread,
     traverse_hit_rate,
     traverse_page_footprint,
+)
+from repro.sim.engine import (
+    ParallelRunner,
+    SeedOutcome,
+    run_experiment,
+    run_experiment_batch,
 )
 from repro.sim.metrics import (
     CollectionRecord,
@@ -16,10 +31,20 @@ from repro.sim.metrics import (
 from repro.sim.runner import (
     AggregateResult,
     AggregateStat,
+    RunStats,
     run_one,
     run_seeds,
 )
 from repro.sim.simulator import Simulation, SimulationConfig, SimulationResult
+from repro.sim.spec import (
+    ExperimentSpec,
+    PolicySpec,
+    SelectionSpec,
+    WorkloadSpec,
+    register_policy,
+    register_selection,
+    register_workload,
+)
 
 __all__ = [
     "AggregateResult",
@@ -28,14 +53,29 @@ __all__ = [
     "traverse_hit_rate",
     "traverse_page_footprint",
     "AggregateStat",
+    "CachedRun",
     "CollectionRecord",
     "EventSample",
+    "ExperimentSpec",
+    "ParallelRunner",
+    "PolicySpec",
+    "ResultCache",
+    "RunStats",
     "RunningMean",
     "Sampler",
+    "SeedOutcome",
+    "SelectionSpec",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
     "SimulationSummary",
+    "WorkloadSpec",
+    "register_policy",
+    "register_selection",
+    "register_workload",
+    "run_experiment",
+    "run_experiment_batch",
     "run_one",
     "run_seeds",
+    "spec_fingerprint",
 ]

@@ -1,0 +1,159 @@
+"""Content-addressed on-disk cache for simulation results.
+
+Every data point in the paper's protocol is the outcome of a deterministic
+simulation: the same (policy, workload, selection, simulation config, seed)
+always produces the same :class:`~repro.sim.metrics.SimulationSummary`.
+That makes results safe to memoise on disk, keyed by a stable SHA-256
+fingerprint of the declarative :class:`~repro.sim.spec.ExperimentSpec`
+material plus the seed and the package version — so re-running
+``repro-experiments all`` after an unrelated edit is near-instant, while
+any change to a policy parameter, workload knob, store geometry, or the
+package itself naturally misses.
+
+Entries are small JSON files (summary plus, optionally, the per-collection
+records Figures 6/7 need), sharded two-hex-deep to keep directories
+shallow, and written atomically (temp file + rename) so concurrent sweeps
+sharing a cache directory never observe torn entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.sim.metrics import CollectionRecord, SimulationSummary
+from repro.sim.spec import ExperimentSpec, spec_material
+
+#: Bump to invalidate every existing cache entry on a format change.
+_FORMAT = 1
+
+
+def spec_fingerprint(spec: ExperimentSpec, seed: int) -> str:
+    """Stable SHA-256 content address of one (spec, seed) simulation run."""
+    from repro import __version__
+
+    material = {
+        "format": _FORMAT,
+        "version": __version__,
+        **spec_material(spec, seed=seed),
+    }
+    blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CachedRun:
+    """One memoised simulation run."""
+
+    summary: SimulationSummary
+    records: Optional[list[CollectionRecord]] = None
+
+
+class ResultCache:
+    """Directory-backed store of memoised simulation runs.
+
+    Usage::
+
+        cache = ResultCache("results/.cache")
+        key = spec_fingerprint(spec, seed)
+        hit = cache.get(key)
+        if hit is None:
+            ...run the simulation...
+            cache.put(key, summary, records)
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def get(self, key: str, want_records: bool = False) -> Optional[CachedRun]:
+        """Return the cached run for ``key``, or None on a miss.
+
+        With ``want_records=True`` an entry that was stored without
+        per-collection records counts as a miss (the caller needs data the
+        cache does not have); the re-run will overwrite the entry with one
+        that includes them.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, OSError):
+            # A torn or corrupt entry is just a miss; drop it.
+            self._discard(path)
+            return None
+        try:
+            summary = SimulationSummary(**payload["summary"])
+            raw_records = payload.get("records")
+            records = (
+                [CollectionRecord(**record) for record in raw_records]
+                if raw_records is not None
+                else None
+            )
+        except (KeyError, TypeError):
+            # Entry written by an incompatible summary/record schema.
+            self._discard(path)
+            return None
+        if want_records and records is None:
+            return None
+        return CachedRun(summary=summary, records=records)
+
+    def put(
+        self,
+        key: str,
+        summary: SimulationSummary,
+        records: Optional[list[CollectionRecord]] = None,
+    ) -> None:
+        """Store one run atomically under its fingerprint."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "summary": dataclasses.asdict(summary),
+            "records": (
+                [dataclasses.asdict(record) for record in records]
+                if records is not None
+                else None
+            ),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(blob)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            self._discard(entry)
+            removed += 1
+        return removed
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass

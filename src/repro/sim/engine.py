@@ -1,0 +1,264 @@
+"""Parallel multi-seed experiment engine.
+
+The paper's measurement protocol is embarrassingly parallel — every data
+point is the mean of independent seeded simulation runs — so this engine
+fans the (spec, seed) grid out over a :class:`~concurrent.futures.
+ProcessPoolExecutor` and memoises each run in an optional on-disk
+:class:`~repro.sim.cache.ResultCache`:
+
+* ``jobs=1`` executes in-process on the exact code path a worker would run,
+  so determinism tests can compare serial and parallel results directly;
+* results are assembled in task order regardless of completion order, so
+  formatted experiment output is byte-identical at any ``jobs`` setting;
+* cache hits skip simulation entirely and are reported per run through the
+  progress callback and in :class:`~repro.sim.runner.RunStats`.
+
+Worker processes cannot unpickle closures, which is why the engine runs on
+declarative :class:`~repro.sim.spec.ExperimentSpec` values: the spec
+travels to the worker as plain data and is resolved into live policy /
+trace / selection objects there, once per seed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro.sim.cache import ResultCache, spec_fingerprint
+from repro.sim.metrics import CollectionRecord, SimulationSummary
+from repro.sim.runner import AggregateResult, RunStats
+from repro.sim.simulator import Simulation
+from repro.sim.spec import ExperimentSpec
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """One completed run, as reported to progress callbacks."""
+
+    label: str
+    seed: int
+    #: True when the run was answered from the result cache.
+    cached: bool
+    #: Wall-clock seconds the simulation took (0 for cache hits).
+    wall_time: float
+    #: Runs finished so far, including this one.
+    completed: int
+    #: Total runs in the batch.
+    total: int
+
+
+#: Called once per completed run (cache hit or simulation).
+ProgressCallback = Callable[[SeedOutcome], None]
+
+CacheLike = Union[ResultCache, str, Path, None]
+
+
+def _as_cache(cache: CacheLike) -> Optional[ResultCache]:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def _simulate(
+    spec: ExperimentSpec, seed: int, keep_records: bool
+) -> tuple[SimulationSummary, Optional[list[CollectionRecord]], float]:
+    """Execute one (spec, seed) run; the unit of work shipped to workers."""
+    started = time.perf_counter()
+    policy, trace, selection = spec.resolve(seed)
+    result = Simulation(policy=policy, selection=selection, config=spec.sim).run(trace)
+    elapsed = time.perf_counter() - started
+    records = list(result.collections) if keep_records else None
+    return result.summary, records, elapsed
+
+
+class ParallelRunner:
+    """Runs (spec, seed) grids across worker processes with caching.
+
+    Args:
+        jobs: Worker processes; ``None`` uses ``os.cpu_count()``; ``1``
+            runs everything in-process (the deterministic baseline path).
+        cache: A :class:`ResultCache`, a directory path to open one in, or
+            ``None`` to disable caching.
+        progress: Callback invoked once per completed run.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: CacheLike = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.cache = _as_cache(cache)
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        seeds: Sequence[int],
+        keep_records: bool = False,
+    ) -> AggregateResult:
+        """Run one spec across several seeds and aggregate."""
+        return self.run_batch([spec], seeds, keep_records=keep_records)[0]
+
+    def run_batch(
+        self,
+        specs: Sequence[ExperimentSpec],
+        seeds: Sequence[int],
+        keep_records: bool = False,
+    ) -> list[AggregateResult]:
+        """Run several specs over the same seeds, fanning all runs out at once.
+
+        Batching whole sweeps (every fraction × every seed) into one call
+        keeps all workers busy even when a single setting has fewer seeds
+        than there are cores. Results come back in spec order, each an
+        :class:`AggregateResult` with per-setting cache/wall-time stats.
+        """
+        specs = list(specs)
+        seeds = list(seeds)
+        if not specs:
+            return []
+        if not seeds:
+            raise ValueError("at least one seed is required")
+
+        tasks = [(si, seed) for si in range(len(specs)) for seed in seeds]
+        outcomes: list[Optional[tuple]] = [None] * len(tasks)
+        fingerprints: list[Optional[str]] = [None] * len(tasks)
+        self._completed = 0
+        self._total = len(tasks)
+
+        pending: list[int] = []
+        for index, (si, seed) in enumerate(tasks):
+            if self.cache is not None:
+                fingerprint = spec_fingerprint(specs[si], seed)
+                fingerprints[index] = fingerprint
+                hit = self.cache.get(fingerprint, want_records=keep_records)
+                if hit is not None:
+                    outcomes[index] = (hit.summary, hit.records, True, 0.0)
+                    self._emit(specs[si], seed, cached=True, wall_time=0.0)
+                    continue
+            pending.append(index)
+
+        workers = min(self.jobs, len(pending))
+        if workers > 1:
+            self._run_pooled(specs, tasks, pending, fingerprints, outcomes, keep_records, workers)
+        else:
+            self._run_serial(specs, tasks, pending, fingerprints, outcomes, keep_records)
+
+        return self._assemble(specs, seeds, tasks, outcomes, keep_records)
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, specs, tasks, pending, fingerprints, outcomes, keep_records):
+        for index in pending:
+            si, seed = tasks[index]
+            summary, records, elapsed = _simulate(specs[si], seed, keep_records)
+            self._finish(index, specs[si], seed, summary, records, elapsed,
+                         fingerprints[index], outcomes)
+
+    def _run_pooled(self, specs, tasks, pending, fingerprints, outcomes,
+                    keep_records, workers):
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(_simulate, specs[tasks[index][0]], tasks[index][1],
+                            keep_records): index
+                for index in pending
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                si, seed = tasks[index]
+                summary, records, elapsed = future.result()
+                self._finish(index, specs[si], seed, summary, records, elapsed,
+                             fingerprints[index], outcomes)
+
+    def _finish(self, index, spec, seed, summary, records, elapsed,
+                fingerprint, outcomes):
+        outcomes[index] = (summary, records, False, elapsed)
+        if self.cache is not None and fingerprint is not None:
+            self.cache.put(fingerprint, summary, records)
+        self._emit(spec, seed, cached=False, wall_time=elapsed)
+
+    def _emit(self, spec, seed, cached, wall_time):
+        self._completed += 1
+        if self.progress is None:
+            return
+        self.progress(
+            SeedOutcome(
+                label=spec.label or spec.policy.kind,
+                seed=seed,
+                cached=cached,
+                wall_time=wall_time,
+                completed=self._completed,
+                total=self._total,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _assemble(specs, seeds, tasks, outcomes, keep_records):
+        results = []
+        for si in range(len(specs)):
+            stats = RunStats()
+            aggregate = AggregateResult(summaries=[], stats=stats)
+            for j in range(len(seeds)):
+                summary, records, cached, elapsed = outcomes[si * len(seeds) + j]
+                aggregate.summaries.append(summary)
+                if keep_records:
+                    aggregate.records.append(records or [])
+                if cached:
+                    stats.cache_hits += 1
+                else:
+                    stats.cache_misses += 1
+                stats.wall_time += elapsed
+            results.append(aggregate)
+        return results
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    *,
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress: Optional[ProgressCallback] = None,
+    keep_records: bool = False,
+) -> AggregateResult:
+    """Run one experimental setting across seeds, in parallel, with caching.
+
+    The declarative counterpart of :func:`repro.sim.runner.run_seeds`:
+    ``spec`` names everything by registry key, so runs can execute in worker
+    processes (``jobs``; ``None`` = all cores, ``1`` = in-process) and be
+    memoised in ``cache``. ``keep_records=True`` additionally returns each
+    run's per-collection records (Figures 6/7 need them).
+    """
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    return runner.run(spec, seeds, keep_records=keep_records)
+
+
+def run_experiment_batch(
+    specs: Sequence[ExperimentSpec],
+    *,
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    cache: CacheLike = None,
+    progress: Optional[ProgressCallback] = None,
+    keep_records: bool = False,
+) -> list[AggregateResult]:
+    """Run several settings over the same seeds in one parallel fan-out."""
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    return runner.run_batch(specs, seeds, keep_records=keep_records)

@@ -5,25 +5,72 @@ only in the initial random number seed" (§3.2), reporting for each setting
 the mean over 10 runs with error bars at the minimum and maximum of the
 per-run means (§4.1). This module provides that protocol: build a fresh
 workload and policy per seed, run the simulation, and aggregate.
+
+Two entry points exist:
+
+* :func:`run_seeds` — the in-process, factory-based primitive kept for
+  programmatic callers that need arbitrary (non-picklable) factories;
+* :func:`repro.sim.engine.run_experiment` — the declarative
+  :class:`~repro.sim.spec.ExperimentSpec` entry point, which adds
+  multi-process fan-out and on-disk result caching and is what the
+  experiment drivers and the CLI use.
+
+All three factory protocols are **seed-aware**: the factory is called with
+the run's seed so seed-dependent construction (e.g. randomised selection
+policies) stays reproducible. Zero-argument policy factories are still
+accepted for backward compatibility, with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import inspect
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence, Union
 
 from repro.core.rate_policy import RatePolicy
 from repro.gc.selection import PartitionSelectionPolicy, UpdatedPointerSelection
-from repro.sim.metrics import SimulationSummary
+from repro.sim.metrics import CollectionRecord, SimulationSummary
 from repro.sim.simulator import Simulation, SimulationConfig, SimulationResult
 from repro.events import TraceEvent
 
 #: Builds the trace for a given seed.
 TraceFactory = Callable[[int], Iterable[TraceEvent]]
-#: Builds a fresh policy instance (policies are stateful; never share them).
-PolicyFactory = Callable[[], RatePolicy]
+#: Builds a fresh policy instance for a given seed (policies are stateful;
+#: never share them). Zero-argument factories are deprecated but accepted.
+PolicyFactory = Callable[[int], RatePolicy]
+#: The deprecated zero-argument policy factory protocol.
+LegacyPolicyFactory = Callable[[], RatePolicy]
 #: Builds a fresh selection policy for a given seed.
 SelectionFactory = Callable[[int], PartitionSelectionPolicy]
+
+
+def _adapt_policy_factory(
+    factory: Union[PolicyFactory, LegacyPolicyFactory],
+) -> PolicyFactory:
+    """Return a seed-aware factory, shimming zero-arg legacy factories.
+
+    A factory is *legacy* exactly when it is callable with no arguments —
+    that is how the old protocol invoked it, so factories like
+    ``lambda: Policy()`` or ``lambda rate=r: Policy(rate)`` (closure state
+    smuggled through argument defaults) keep their old meaning. Anything
+    that *requires* an argument is treated as seed-aware.
+    """
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins / C callables: assume seed-aware
+        return factory  # type: ignore[return-value]
+    try:
+        signature.bind()
+    except TypeError:
+        return factory  # requires an argument: already seed-aware
+    warnings.warn(
+        "zero-argument policy factories are deprecated; make the factory "
+        "seed-aware (Callable[[int], RatePolicy])",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return lambda seed: factory()  # type: ignore[call-arg]
 
 
 @dataclass(frozen=True)
@@ -50,12 +97,38 @@ class AggregateStat:
 
 
 @dataclass
+class RunStats:
+    """Observability counters for one aggregated experimental setting."""
+
+    #: Wall-clock seconds spent actually simulating (cache hits cost ~0).
+    wall_time: float = 0.0
+    #: Runs answered from the on-disk result cache.
+    cache_hits: int = 0
+    #: Runs that had to be simulated.
+    cache_misses: int = 0
+
+    @property
+    def runs(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    def merge(self, other: "RunStats") -> None:
+        self.wall_time += other.wall_time
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+
+
+@dataclass
 class AggregateResult:
     """Results of one experimental setting across all seeds."""
 
     summaries: list[SimulationSummary]
     #: Kept only when the caller asks for full results (memory!).
     results: list[SimulationResult] = field(default_factory=list)
+    #: Per-seed collection records, kept only when the caller asks for them
+    #: (``keep_records=True`` on the engine entry points).
+    records: list[list[CollectionRecord]] = field(default_factory=list)
+    #: Wall-time and cache accounting (populated by the engine).
+    stats: Optional[RunStats] = None
 
     @property
     def runs(self) -> int:
@@ -98,7 +171,7 @@ def run_one(
 
 
 def run_seeds(
-    policy_factory: PolicyFactory,
+    policy_factory: Union[PolicyFactory, LegacyPolicyFactory],
     trace_factory: TraceFactory,
     seeds: Sequence[int],
     selection_factory: Optional[SelectionFactory] = None,
@@ -108,7 +181,8 @@ def run_seeds(
     """Run one experimental setting across several seeds and aggregate.
 
     Args:
-        policy_factory: Called once per seed for a fresh policy.
+        policy_factory: Called with each seed for a fresh policy
+            (zero-argument factories still work, with a DeprecationWarning).
         trace_factory: Called with each seed for a fresh workload trace.
         seeds: The seeds (the paper uses 10 per data point).
         selection_factory: Partition selection per seed (default
@@ -119,13 +193,14 @@ def run_seeds(
     """
     if not seeds:
         raise ValueError("at least one seed is required")
+    make_policy = _adapt_policy_factory(policy_factory)
     aggregate = AggregateResult(summaries=[])
     for seed in seeds:
         selection = (
             selection_factory(seed) if selection_factory else UpdatedPointerSelection()
         )
         result = run_one(
-            policy=policy_factory(),
+            policy=make_policy(seed),
             trace=trace_factory(seed),
             selection=selection,
             config=config,

@@ -33,12 +33,12 @@ def test_aggregate_stat_empty():
 
 def test_run_seeds_requires_seeds():
     with pytest.raises(ValueError):
-        run_seeds(lambda: FixedRatePolicy(50), _trace, seeds=[])
+        run_seeds(lambda seed: FixedRatePolicy(50), _trace, seeds=[])
 
 
 def test_run_seeds_aggregates_each_seed():
     aggregate = run_seeds(
-        lambda: FixedRatePolicy(50),
+        lambda seed: FixedRatePolicy(50),
         _trace,
         seeds=[0, 1, 2],
         config=CONFIG,
@@ -51,14 +51,14 @@ def test_run_seeds_aggregates_each_seed():
 
 def test_run_seeds_results_dropped_by_default():
     aggregate = run_seeds(
-        lambda: FixedRatePolicy(50), _trace, seeds=[0], config=CONFIG
+        lambda seed: FixedRatePolicy(50), _trace, seeds=[0], config=CONFIG
     )
     assert aggregate.results == []
 
 
 def test_run_seeds_keep_results():
     aggregate = run_seeds(
-        lambda: FixedRatePolicy(50),
+        lambda seed: FixedRatePolicy(50),
         _trace,
         seeds=[0],
         config=CONFIG,
@@ -71,7 +71,7 @@ def test_run_seeds_keep_results():
 def test_identical_seeds_give_identical_summaries():
     """Determinism across full simulation runs."""
     kwargs = dict(
-        policy_factory=lambda: SaioPolicy(io_fraction=0.2, initial_interval=50),
+        policy_factory=lambda seed: SaioPolicy(io_fraction=0.2, initial_interval=50),
         trace_factory=_trace,
         seeds=[7],
         config=CONFIG,
@@ -83,7 +83,7 @@ def test_identical_seeds_give_identical_summaries():
 
 def test_different_seeds_vary():
     aggregate = run_seeds(
-        lambda: FixedRatePolicy(50), _trace, seeds=[0, 1, 2, 3], config=CONFIG
+        lambda seed: FixedRatePolicy(50), _trace, seeds=[0, 1, 2, 3], config=CONFIG
     )
     fractions = [s.garbage_fraction_mean for s in aggregate.summaries]
     assert len(set(fractions)) > 1
@@ -92,3 +92,50 @@ def test_different_seeds_vary():
 def test_run_one_convenience():
     result = run_one(FixedRatePolicy(50), _trace(0), config=CONFIG)
     assert result.summary.collections > 0
+
+
+# ---------------------------------------------------------------- factory protocol
+
+
+def test_seed_aware_factory_receives_each_seed():
+    received = []
+
+    def factory(seed):
+        received.append(seed)
+        return FixedRatePolicy(50)
+
+    run_seeds(factory, _trace, seeds=[3, 1, 4], config=CONFIG)
+    assert received == [3, 1, 4]
+
+
+def test_legacy_zero_arg_factory_warns_but_works():
+    with pytest.warns(DeprecationWarning, match="seed-aware"):
+        aggregate = run_seeds(
+            lambda: FixedRatePolicy(50), _trace, seeds=[0], config=CONFIG
+        )
+    assert aggregate.runs == 1
+
+
+def test_legacy_default_arg_factory_keeps_its_defaults():
+    """`lambda r=rate: ...` smuggles state via defaults; the seed must not
+    clobber it."""
+    captured = []
+
+    def factory(rate=50):
+        captured.append(rate)
+        return FixedRatePolicy(rate)
+
+    with pytest.warns(DeprecationWarning):
+        run_seeds(factory, _trace, seeds=[7], config=CONFIG)
+    assert captured == [50]  # not the seed
+
+
+def test_legacy_and_seed_aware_factories_agree():
+    with pytest.warns(DeprecationWarning):
+        legacy = run_seeds(
+            lambda: FixedRatePolicy(50), _trace, seeds=[0, 1], config=CONFIG
+        )
+    modern = run_seeds(
+        lambda seed: FixedRatePolicy(50), _trace, seeds=[0, 1], config=CONFIG
+    )
+    assert legacy.summaries == modern.summaries
