@@ -40,6 +40,15 @@ from repro.core import (
     Trigger,
     make_estimator,
 )
+from repro.faults import (
+    DrillReport,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    SimulatedCrash,
+    load_fault_plan,
+    run_crash_recovery_drill,
+)
 from repro.gc import (
     CollectionResult,
     CopyingCollector,
@@ -58,7 +67,9 @@ from repro.sim import (
     ParallelRunner,
     PolicySpec,
     ResultCache,
+    RunFailure,
     RunStats,
+    RunTimeoutError,
     SelectionSpec,
     Simulation,
     SimulationConfig,
@@ -93,7 +104,11 @@ __all__ = [
     "CopyingCollector",
     "CoupledSaioSagaPolicy",
     "DecayingOracleBlend",
+    "DrillReport",
     "ExperimentSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
     "FgsCbEstimator",
     "FgsHbEstimator",
     "FixedRatePolicy",
@@ -116,12 +131,15 @@ __all__ = [
     "RatePolicy",
     "ResultCache",
     "RoundRobinSelection",
+    "RunFailure",
     "RunStats",
+    "RunTimeoutError",
     "SMALL",
     "SMALL_PRIME",
     "SagaPolicy",
     "SaioPolicy",
     "SelectionSpec",
+    "SimulatedCrash",
     "Simulation",
     "SimulationConfig",
     "SimulationResult",
@@ -140,8 +158,10 @@ __all__ = [
     "UpdatedPointerSelection",
     "WorkloadSpec",
     "build_database",
+    "load_fault_plan",
     "make_estimator",
     "make_selection_policy",
+    "run_crash_recovery_drill",
     "run_experiment",
     "run_experiment_batch",
     "run_one",

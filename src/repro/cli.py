@@ -20,6 +20,13 @@ CPU) and are memoised in a content-addressed on-disk cache (default
 disable with ``--no-cache``); a repeated invocation answers every run from
 the cache without simulating. ``--progress`` reports each completed run on
 stderr.
+
+Failure tolerance: ``--retries N`` re-attempts a failing run with
+exponential backoff, ``--run-timeout S`` bounds each run's wall clock, and
+``--faults plan.json`` injects a deterministic
+:class:`~repro.faults.plan.FaultPlan` into every run. Runs that still fail
+are quarantined into the per-setting statistics (the batch always
+completes with partial results).
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from repro.experiments.registry import (
     get_experiment,
     iter_experiments,
 )
+from repro.faults.plan import load_fault_plan
 from repro.sim.cache import ResultCache
 from repro.sim.engine import SeedOutcome
 
@@ -50,22 +58,30 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 class _ProgressReporter:
-    """Tallies cache hits/misses; optionally narrates each run to stderr."""
+    """Tallies cache hits/misses/failures; optionally narrates to stderr."""
 
     def __init__(self, verbose: bool = False, stream=None):
         self.verbose = verbose
         self.stream = stream if stream is not None else sys.stderr
         self.hits = 0
         self.misses = 0
+        self.failures = 0
 
     def __call__(self, outcome: SeedOutcome) -> None:
-        if outcome.cached:
+        if outcome.failed:
+            self.failures += 1
+        elif outcome.cached:
             self.hits += 1
         else:
             self.misses += 1
         if self.verbose:
             label = outcome.label or "run"
-            source = "cache" if outcome.cached else f"{outcome.wall_time:.2f}s"
+            if outcome.failed:
+                source = f"FAILED: {outcome.error}"
+            elif outcome.cached:
+                source = "cache"
+            else:
+                source = f"{outcome.wall_time:.2f}s"
             print(
                 f"  [{outcome.completed}/{outcome.total}] {label} "
                 f"seed={outcome.seed} ({source})",
@@ -73,16 +89,26 @@ class _ProgressReporter:
             )
 
     def summary(self) -> str:
-        total = self.hits + self.misses
+        total = self.hits + self.misses + self.failures
         if not total:
             return ""
-        return f"; {total} runs: {self.hits} cached, {self.misses} simulated"
+        parts = f"; {total} runs: {self.hits} cached, {self.misses} simulated"
+        if self.failures:
+            parts += f", {self.failures} FAILED"
+        return parts
 
 
 def _positive_int(raw: str) -> int:
     value = int(raw)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(raw: str) -> int:
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
     return value
 
 
@@ -135,6 +161,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print one line per completed simulation run (stderr)",
     )
     parser.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=0,
+        help="extra attempts per failing run, with exponential backoff",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock budget; a run exceeding it counts as failed",
+    )
+    parser.add_argument(
+        "--faults",
+        type=Path,
+        default=None,
+        metavar="PLAN.JSON",
+        help="inject the deterministic FaultPlan in this JSON file into every run",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -182,12 +228,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     cache = _resolve_cache(args)
+    faults = load_fault_plan(args.faults) if args.faults is not None else None
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         options = RunOptions(
             jobs=args.jobs,
             cache=cache,
             progress=_ProgressReporter(verbose=args.progress),
+            retries=args.retries,
+            run_timeout=args.run_timeout,
+            faults=faults,
         )
         report = _run_named(name, args.seeds, options)
         print(report)

@@ -28,6 +28,7 @@ from repro.core.fixed import PartitionHeuristicPolicy
 from repro.core.saio import UNLIMITED_HISTORY
 from repro.events import trace_stats
 from repro.experiments.common import (
+    engine_options,
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
     SAIO_PREAMBLE,
@@ -58,9 +59,7 @@ class FixedHeuristicResult:
 def run_fixed_heuristic_ablation(
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> FixedHeuristicResult:
     seeds = seeds if seeds is not None else default_seeds()
     store = paper_store_config()
@@ -85,7 +84,7 @@ def run_fixed_heuristic_ablation(
         for label, rate in zip(labels, rates)
     ]
     aggregates = run_experiment_batch(
-        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+        specs, seeds=seeds, **engine_options(engine_kwargs)
     )
     rows = []
     for label, rate, aggregate in zip(labels, rates, aggregates):
@@ -137,9 +136,7 @@ def run_clock_ablation(
     collections_budget: int = 50,
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> ClockAblationResult:
     """Compare overwrite-triggered vs allocation-triggered fixed policies.
 
@@ -187,9 +184,7 @@ def run_clock_ablation(
         aggregate = run_experiment(
             oo7_spec(policy_spec, config, SAGA_PREAMBLE, label=f"ablation-clock {label}"),
             seeds=seeds,
-            jobs=jobs,
-            cache=cache,
-            progress=progress,
+            **engine_options(engine_kwargs),
             keep_records=True,
         )
         zero_yield = []
@@ -206,8 +201,8 @@ def run_clock_ablation(
             [
                 label,
                 f"{aggregate.collections.mean:.1f}",
-                f"{sum(gendb_collections) / len(gendb_collections):.1f}",
-                f"{sum(zero_yield) / len(zero_yield) * 100:.0f}%",
+                f"{sum(gendb_collections) / max(1, len(gendb_collections)):.1f}",
+                f"{sum(zero_yield) / max(1, len(zero_yield)) * 100:.0f}%",
                 f"{aggregate.total_reclaimed.mean / 1024:.0f} KB",
                 f"{aggregate.garbage_fraction.mean * 100:.1f}%",
             ]
@@ -254,9 +249,7 @@ def run_saio_history_ablation(
     histories=(0, 4, UNLIMITED_HISTORY),
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> SaioHistoryResult:
     seeds = seeds if seeds is not None else default_seeds()
     settings = [
@@ -272,7 +265,7 @@ def run_saio_history_ablation(
         for fraction, history in settings
     ]
     aggregates = run_experiment_batch(
-        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+        specs, seeds=seeds, **engine_options(engine_kwargs)
     )
     rows = []
     for (fraction, history), aggregate in zip(settings, aggregates):
@@ -312,9 +305,7 @@ def run_selection_ablation(
     requested: float = 0.10,
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> SelectionAblationResult:
     """Measure CGS/CB *estimation* bias under each selection policy.
 
@@ -341,9 +332,7 @@ def run_selection_ablation(
                 label=f"ablation-selection {label}",
             ),
             seeds=seeds,
-            jobs=jobs,
-            cache=cache,
-            progress=progress,
+            **engine_options(engine_kwargs),
             keep_records=True,
         )
         biases = []
@@ -361,9 +350,9 @@ def run_selection_ablation(
         rows.append(
             [
                 label,
-                f"{sum(biases) / len(biases) * 100:+.2f}%",
-                f"{sum(abs_errors) / len(abs_errors) * 100:.2f}%",
-                f"{sum(achieved) / len(achieved) * 100:.2f}%",
+                f"{sum(biases) / max(1, len(biases)) * 100:+.2f}%",
+                f"{sum(abs_errors) / max(1, len(abs_errors)) * 100:.2f}%",
+                f"{sum(achieved) / max(1, len(achieved)) * 100:.2f}%",
             ]
         )
     return SelectionAblationResult(rows=rows)
@@ -398,9 +387,7 @@ def run_weight_ablation(
     weights=(0.0, 0.4, 0.7, 0.9),
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> WeightAblationResult:
     seeds = seeds if seeds is not None else default_seeds()
     specs = [
@@ -420,7 +407,7 @@ def run_weight_ablation(
         for weight in weights
     ]
     aggregates = run_experiment_batch(
-        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+        specs, seeds=seeds, **engine_options(engine_kwargs)
     )
     rows = []
     for weight, aggregate in zip(weights, aggregates):

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import (
+    engine_options,
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
     default_seeds,
@@ -57,9 +58,7 @@ def run_estimator_space(
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
     estimators=ESTIMATOR_SPACE,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> EstimatorSpaceResult:
     seeds = seeds if seeds is not None else default_seeds()
     specs = [
@@ -81,9 +80,7 @@ def run_estimator_space(
     aggregates = run_experiment_batch(
         specs,
         seeds=seeds,
-        jobs=jobs,
-        cache=cache,
-        progress=progress,
+        **engine_options(engine_kwargs),
         keep_records=True,
     )
     rows = []

@@ -19,6 +19,7 @@ from repro.experiments.common import (
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
     default_seeds,
+    engine_options,
     full_scale,
     oo7_spec,
 )
@@ -58,9 +59,7 @@ def run_figure1(
     rates=None,
     seeds=None,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> Figure1Result:
     rates = rates if rates is not None else (FULL_RATES if full_scale() else QUICK_RATES)
     seeds = seeds if seeds is not None else default_seeds()
@@ -74,7 +73,7 @@ def run_figure1(
         for rate in rates
     ]
     aggregates = run_experiment_batch(
-        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+        specs, seeds=seeds, **engine_options(engine_kwargs)
     )
     rows = []
     for rate, aggregate in zip(rates, aggregates):
@@ -87,9 +86,9 @@ def run_figure1(
                 total_io_min=total.minimum,
                 total_io_max=total.maximum,
                 app_io_mean=sum(s.app_io_total for s in aggregate.summaries)
-                / aggregate.runs,
+                / max(1, aggregate.runs),
                 gc_io_mean=sum(s.gc_io_total for s in aggregate.summaries)
-                / aggregate.runs,
+                / max(1, aggregate.runs),
                 collected_mean=collected.mean,
                 collected_min=collected.minimum,
                 collected_max=collected.maximum,

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import (
+    engine_options,
     DEFAULT_CONFIG,
     SAIO_PREAMBLE,
     SWEEP_HEADERS,
@@ -48,9 +49,7 @@ def run_figure4(
     seeds=None,
     c_hist: float = 0,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> Figure4Result:
     fractions = (
         fractions
@@ -68,7 +67,7 @@ def run_figure4(
         for fraction in fractions
     ]
     aggregates = run_experiment_batch(
-        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+        specs, seeds=seeds, **engine_options(engine_kwargs)
     )
     points = []
     for fraction, aggregate in zip(fractions, aggregates):

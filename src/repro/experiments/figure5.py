@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import (
+    engine_options,
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
     SWEEP_HEADERS,
@@ -52,9 +53,7 @@ def run_figure5(
     estimators=ESTIMATORS,
     history: float = 0.8,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> Figure5Result:
     fractions = (
         fractions
@@ -84,7 +83,7 @@ def run_figure5(
         for estimator_name, fraction in settings
     ]
     aggregates = run_experiment_batch(
-        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+        specs, seeds=seeds, **engine_options(engine_kwargs)
     )
     sweeps: dict[str, list[SweepPoint]] = {name: [] for name in estimators}
     for (estimator_name, fraction), aggregate in zip(settings, aggregates):

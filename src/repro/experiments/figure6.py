@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import DEFAULT_CONFIG, SAGA_PREAMBLE, oo7_spec
+from repro.experiments.common import DEFAULT_CONFIG, SAGA_PREAMBLE, engine_options, oo7_spec
 from repro.oo7.config import OO7Config
 from repro.sim.engine import run_experiment_batch
 from repro.sim.metrics import CollectionRecord
@@ -57,9 +57,7 @@ def run_figure6(
     history: float = 0.8,
     seed: int = 0,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> Figure6Result:
     specs = [
         oo7_spec(
@@ -80,14 +78,12 @@ def run_figure6(
     aggregates = run_experiment_batch(
         specs,
         seeds=[seed],
-        jobs=jobs,
-        cache=cache,
-        progress=progress,
+        **engine_options(engine_kwargs),
         keep_records=True,
     )
     series = {}
     for name, aggregate in zip(estimators, aggregates):
-        series[name] = Figure6Series(estimator=name, records=aggregate.records[0])
+        series[name] = Figure6Series(estimator=name, records=aggregate.records[0] if aggregate.records else [])
     return Figure6Result(series=series, requested=requested, seed=seed, config=config)
 
 
@@ -97,6 +93,12 @@ def format_figure6(result: Figure6Result) -> str:
         if panel not in result.series:
             continue
         series = result.series[panel]
+        if not series.records:
+            sections.append(
+                f"Figure {label}: no surviving runs for {panel} "
+                "(all runs failed); panel omitted"
+            )
+            continue
         sections.append(
             ascii_plot(
                 {

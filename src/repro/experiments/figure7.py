@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import DEFAULT_CONFIG, SAGA_PREAMBLE, oo7_spec
+from repro.experiments.common import DEFAULT_CONFIG, SAGA_PREAMBLE, engine_options, oo7_spec
 from repro.oo7.config import OO7Config
 from repro.sim.engine import run_experiment_batch
 from repro.sim.metrics import CollectionRecord
@@ -69,9 +69,7 @@ def run_figure7(
     histories=HISTORY_VALUES,
     seed: int = 0,
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> Figure7Result:
     specs = [
         oo7_spec(
@@ -92,14 +90,12 @@ def run_figure7(
     aggregates = run_experiment_batch(
         specs,
         seeds=[seed],
-        jobs=jobs,
-        cache=cache,
-        progress=progress,
+        **engine_options(engine_kwargs),
         keep_records=True,
     )
     runs = {}
     for history, aggregate in zip(histories, aggregates):
-        runs[history] = Figure7Run(history=history, records=aggregate.records[0])
+        runs[history] = Figure7Run(history=history, records=aggregate.records[0] if aggregate.records else [])
     return Figure7Result(runs=runs, requested=requested, seed=seed, config=config)
 
 
@@ -127,6 +123,12 @@ def format_figure7(result: Figure7Result) -> str:
         )
     )
     for history, run in sorted(result.runs.items()):
+        if not run.records:
+            sections.append(
+                f"Figure 7a: h={history:g} — no surviving runs "
+                "(all runs failed); plot omitted"
+            )
+            continue
         sections.append(
             ascii_plot(
                 {"actual": run.actual, "estimated": run.estimated},
@@ -138,6 +140,11 @@ def format_figure7(result: Figure7Result) -> str:
 
     # 7b: rate / yield / garbage over time at h=0.8.
     reference = result.runs.get(0.8) or next(iter(result.runs.values()))
+    if not reference.records:
+        sections.append(
+            "Figure 7b: no surviving runs (all runs failed); panels omitted"
+        )
+        return "\n\n".join(sections)
     if reference.intervals:
         sections.append(
             ascii_plot(

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import (
+    engine_options,
     DEFAULT_CONFIG,
     SAGA_PREAMBLE,
     SAIO_PREAMBLE,
@@ -47,9 +48,7 @@ def run_figure8(
     connectivities=CONNECTIVITIES,
     estimators=("oracle", "fgs-hb"),
     config: OO7Config = DEFAULT_CONFIG,
-    jobs=1,
-    cache=None,
-    progress=None,
+    **engine_kwargs,
 ) -> Figure8Result:
     fractions = (
         fractions
@@ -93,7 +92,7 @@ def run_figure8(
                 )
 
     aggregates = run_experiment_batch(
-        specs, seeds=seeds, jobs=jobs, cache=cache, progress=progress
+        specs, seeds=seeds, **engine_options(engine_kwargs)
     )
 
     saio: dict[int, list[SweepPoint]] = {}

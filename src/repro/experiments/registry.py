@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.faults.plan import FaultPlan
 from repro.sim.engine import CacheLike, ProgressCallback
 
 
@@ -28,16 +29,29 @@ class RunOptions:
     ``jobs=1`` is the in-process deterministic path; ``jobs=None`` lets the
     engine pick ``os.cpu_count()``. ``cache`` may be a
     :class:`~repro.sim.cache.ResultCache`, a directory path, or ``None``
-    to disable caching.
+    to disable caching. ``retries`` / ``run_timeout`` configure the
+    engine's failure-tolerance layer, and ``faults`` composes a
+    deterministic :class:`~repro.faults.plan.FaultPlan` onto every run
+    (the CLI's ``--retries`` / ``--run-timeout`` / ``--faults`` flags).
     """
 
     jobs: Optional[int] = 1
     cache: CacheLike = None
     progress: Optional[ProgressCallback] = None
+    retries: int = 0
+    run_timeout: Optional[float] = None
+    faults: Optional[FaultPlan] = None
 
     def engine_kwargs(self) -> dict:
         """Keyword arguments every spec-engine driver accepts."""
-        return {"jobs": self.jobs, "cache": self.cache, "progress": self.progress}
+        return {
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "progress": self.progress,
+            "retries": self.retries,
+            "run_timeout": self.run_timeout,
+            "faults": self.faults,
+        }
 
 
 #: A runner renders one experiment end-to-end: (seeds, options) → report.
@@ -159,6 +173,17 @@ def _figure8(seeds, options: RunOptions) -> str:
     from repro.experiments.figure8 import format_figure8, run_figure8
 
     return format_figure8(run_figure8(seeds=seeds, **options.engine_kwargs()))
+
+
+@experiment(
+    "drill",
+    "crash-recovery drill: injected crashes vs byte-identical recovery",
+    uses_engine=False,
+)
+def _drill(seeds, options: RunOptions) -> str:
+    from repro.experiments.drill_exp import format_drill, run_drill
+
+    return format_drill(run_drill(seeds=seeds, plan=options.faults))
 
 
 @experiment(

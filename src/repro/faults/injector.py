@@ -1,0 +1,140 @@
+"""The fault-injection runtime.
+
+A :class:`FaultInjector` is instantiated from a :class:`~repro.faults.plan.
+FaultPlan` and handed to the storage, transaction and simulation layers as
+their fault hook. Each layer calls :meth:`FaultInjector.fire` at its named
+sites; the injector counts occurrences per site, consults the plan, and
+either returns (no fault due), records a torn write, or raises.
+
+Determinism: occurrence counters advance in the (serial, single-threaded)
+order the simulation reaches each site, and probabilistic faults draw from
+a :class:`random.Random` seeded purely from ``(plan.seed, fault index,
+site)`` — one draw per occurrence, whether or not the fault fires. The
+complete firing sequence (the :attr:`fired` ledger) is therefore a pure
+function of the plan, and replaying the same (plan, workload seed) pair
+reproduces the same failures at the same points.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.storage.buffer import PageId
+from repro.storage.iostats import IOCategory
+
+
+class InjectedFaultError(Exception):
+    """Base class for all injected failures."""
+
+
+class InjectedIOError(InjectedFaultError):
+    """An injected I/O error: one storage operation fails."""
+
+
+class SimulatedCrash(InjectedFaultError):
+    """An injected crash: the simulated process dies at this point.
+
+    The simulator annotates the exception in flight with ``event_index``
+    (the trace event being processed when the crash hit) and
+    ``resume_index`` (the first event a crash–recover–continue drill must
+    re-execute: the begin of the transaction that was in flight, or the
+    next unprocessed event when no transaction was open).
+    """
+
+    def __init__(self, site: str, occurrence: int) -> None:
+        super().__init__(f"injected crash at {site} (occurrence {occurrence})")
+        self.site = site
+        self.occurrence = occurrence
+        self.event_index: Optional[int] = None
+        self.resume_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One ledger entry: a fault that fired."""
+
+    site: str
+    occurrence: int
+    effect: str
+    detail: Any = None
+
+
+class FaultInjector:
+    """Deterministically fires the faults of one :class:`FaultPlan`.
+
+    One injector instance is meant to live for one *drill* — across a
+    crash–recover–continue cycle the same injector keeps counting, so a
+    single-shot crash fault does not re-fire after recovery.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._counts: dict[str, int] = {}
+        self._retired = [False] * len(plan.faults)
+        self._rngs = [
+            random.Random(f"{plan.seed}:{index}:{spec.site}")
+            for index, spec in enumerate(plan.faults)
+        ]
+        #: Every fault that fired, in firing order (the replay ledger).
+        self.fired: list[FiredFault] = []
+        #: Pages whose write-back was torn (their on-disk image is lost).
+        self.torn_pages: set[PageId] = set()
+
+    # ------------------------------------------------------------------
+    # Site hooks
+    # ------------------------------------------------------------------
+
+    def fire(self, site: str, detail: Any = None) -> None:
+        """Register one occurrence of ``site``; raise if a fault is due."""
+        occurrence = self._counts.get(site, 0) + 1
+        self._counts[site] = occurrence
+        for index, spec in enumerate(self.plan.faults):
+            if spec.site != site or self._retired[index]:
+                continue
+            if spec.at is not None:
+                due = (
+                    occurrence % spec.at == 0 if spec.repeat else occurrence == spec.at
+                )
+            else:
+                # Draw exactly once per occurrence so the coin sequence
+                # stays aligned with the occurrence counter.
+                due = self._rngs[index].random() < spec.probability
+            if not due:
+                continue
+            if not spec.repeat:
+                self._retired[index] = True
+            self.fired.append(
+                FiredFault(site=site, occurrence=occurrence, effect=spec.effect, detail=detail)
+            )
+            if spec.effect == "torn-write":
+                if detail is not None:
+                    self.torn_pages.add(detail)
+                continue
+            if spec.effect == "io-error":
+                raise InjectedIOError(
+                    f"injected I/O error at {site} (occurrence {occurrence})"
+                )
+            raise SimulatedCrash(site, occurrence)
+
+    def fire_io(self, site: str, category: IOCategory) -> None:
+        """Hook shape for :class:`~repro.storage.iostats.IOStats`."""
+        self.fire(site, detail=category.value)
+
+    def fire_page_write(self, page: PageId, category: IOCategory) -> None:
+        """Hook shape for :class:`~repro.storage.buffer.BufferPool`."""
+        self.fire("page.write", detail=page)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def occurrences(self, site: str) -> int:
+        """How many times ``site`` has been reached so far."""
+        return self._counts.get(site, 0)
+
+    @property
+    def crashes(self) -> int:
+        return sum(1 for f in self.fired if f.effect == "crash")

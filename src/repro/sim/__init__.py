@@ -17,6 +17,7 @@ from repro.sim.clustering import (
 )
 from repro.sim.engine import (
     ParallelRunner,
+    RunTimeoutError,
     SeedOutcome,
     run_experiment,
     run_experiment_batch,
@@ -31,6 +32,7 @@ from repro.sim.metrics import (
 from repro.sim.runner import (
     AggregateResult,
     AggregateStat,
+    RunFailure,
     RunStats,
     run_one,
     run_seeds,
@@ -60,7 +62,9 @@ __all__ = [
     "ParallelRunner",
     "PolicySpec",
     "ResultCache",
+    "RunFailure",
     "RunStats",
+    "RunTimeoutError",
     "RunningMean",
     "Sampler",
     "SeedOutcome",

@@ -14,6 +14,12 @@ Entries are small JSON files (summary plus, optionally, the per-collection
 records Figures 6/7 need), sharded two-hex-deep to keep directories
 shallow, and written atomically (temp file + rename) so concurrent sweeps
 sharing a cache directory never observe torn entries.
+
+Corrupt entries (truncated JSON, incompatible schema) are never silently
+deleted: they are moved into a ``quarantine/`` sidecar directory under the
+cache root — renamed ``<key>.json.corrupt`` so they are invisible to the
+entry glob — where they stay available for post-mortems while the lookup
+itself degrades to a plain miss.
 """
 
 from __future__ import annotations
@@ -70,6 +76,8 @@ class ResultCache:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        #: Corrupt entries moved aside by this cache instance.
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -89,8 +97,9 @@ class ResultCache:
         except FileNotFoundError:
             return None
         except (json.JSONDecodeError, OSError):
-            # A torn or corrupt entry is just a miss; drop it.
-            self._discard(path)
+            # A torn or corrupt entry is a miss, but the bytes may matter
+            # for a post-mortem: quarantine them instead of deleting.
+            self._quarantine(path)
             return None
         try:
             summary = SimulationSummary(**payload["summary"])
@@ -102,7 +111,7 @@ class ResultCache:
             )
         except (KeyError, TypeError):
             # Entry written by an incompatible summary/record schema.
-            self._discard(path)
+            self._quarantine(path)
             return None
         if want_records and records is None:
             return None
@@ -114,8 +123,18 @@ class ResultCache:
         summary: SimulationSummary,
         records: Optional[list[CollectionRecord]] = None,
     ) -> None:
-        """Store one run atomically under its fingerprint."""
+        """Store one run atomically under its fingerprint.
+
+        A record-less write never *downgrades* an existing entry that has
+        per-collection records: a later ``keep_records=False`` sweep would
+        otherwise strip records that a ``keep_records=True`` caller paid to
+        compute, re-poisoning the entry for the next records-needing run.
+        """
         path = self._path(key)
+        if records is None:
+            existing = self.get(key, want_records=True)
+            if existing is not None:
+                return
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "summary": dataclasses.asdict(summary),
@@ -150,6 +169,20 @@ class ResultCache:
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into the sidecar directory (best-effort).
+
+        The ``.corrupt`` suffix keeps quarantined files out of the
+        ``*/*.json`` entry glob used by ``__len__`` and ``clear``.
+        """
+        target_dir = self.root / "quarantine"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / f"{path.name}.corrupt")
+            self.quarantined += 1
+        except OSError:
+            self._discard(path)
 
     @staticmethod
     def _discard(path: Path) -> None:

@@ -13,6 +13,15 @@ ProcessPoolExecutor` and memoises each run in an optional on-disk
 * cache hits skip simulation entirely and are reported per run through the
   progress callback and in :class:`~repro.sim.runner.RunStats`.
 
+The engine is failure-tolerant: a run that raises (or exceeds
+``run_timeout``) is retried up to ``retries`` times with exponential
+backoff, and if it still fails it is *quarantined* — recorded as a
+:class:`~repro.sim.runner.RunFailure` on the setting's
+:class:`~repro.sim.runner.AggregateResult` — while the rest of the batch
+completes and aggregates over the successful runs. A broken worker pool
+(e.g. a worker killed by the OOM killer) degrades gracefully: the engine
+falls back to the in-process serial path for whatever work remains.
+
 Worker processes cannot unpickle closures, which is why the engine runs on
 declarative :class:`~repro.sim.spec.ExperimentSpec` values: the spec
 travels to the worker as plain data and is resolved into live policy /
@@ -21,23 +30,32 @@ trace / selection objects there, once per seed.
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import signal
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.sim.cache import ResultCache, spec_fingerprint
 from repro.sim.metrics import CollectionRecord, SimulationSummary
-from repro.sim.runner import AggregateResult, RunStats
+from repro.sim.runner import AggregateResult, RunFailure, RunStats
 from repro.sim.simulator import Simulation
 from repro.sim.spec import ExperimentSpec
 
 
+class RunTimeoutError(Exception):
+    """A single simulation run exceeded the engine's ``run_timeout``."""
+
+
 @dataclass(frozen=True)
 class SeedOutcome:
-    """One completed run, as reported to progress callbacks."""
+    """One settled run (success, cache hit, or final failure)."""
 
     label: str
     seed: int
@@ -45,16 +63,51 @@ class SeedOutcome:
     cached: bool
     #: Wall-clock seconds the simulation took (0 for cache hits).
     wall_time: float
-    #: Runs finished so far, including this one.
+    #: Runs settled so far, including this one.
     completed: int
     #: Total runs in the batch.
     total: int
+    #: True when the run failed every attempt and was quarantined.
+    failed: bool = False
+    #: ``repr`` of the final exception for failed runs.
+    error: Optional[str] = None
 
 
-#: Called once per completed run (cache hit or simulation).
+#: Called once per settled run (cache hit, simulation, or final failure).
 ProgressCallback = Callable[[SeedOutcome], None]
 
 CacheLike = Union[ResultCache, str, Path, None]
+
+
+@dataclass
+class _Progress:
+    """Per-batch progress counters.
+
+    Local to each ``run_batch`` call (threaded through explicitly, never
+    stored on the runner) so one :class:`ParallelRunner` can serve
+    overlapping batches — e.g. re-entrant use from a progress callback or
+    from multiple threads — without the counters of one batch corrupting
+    another's.
+    """
+
+    total: int
+    completed: int = 0
+
+
+@dataclass(frozen=True)
+class _Success:
+    summary: SimulationSummary
+    records: Optional[list[CollectionRecord]]
+    cached: bool
+    elapsed: float
+    #: Simulation attempts spent (0 for cache hits, >=1 otherwise).
+    attempts: int
+
+
+@dataclass(frozen=True)
+class _Failure:
+    error: str
+    attempts: int
 
 
 def _as_cache(cache: CacheLike) -> Optional[ResultCache]:
@@ -63,13 +116,40 @@ def _as_cache(cache: CacheLike) -> Optional[ResultCache]:
     return ResultCache(cache)
 
 
+def _alarm_handler(signum, frame):
+    raise RunTimeoutError("simulation run exceeded run_timeout")
+
+
 def _simulate(
-    spec: ExperimentSpec, seed: int, keep_records: bool
+    spec: ExperimentSpec,
+    seed: int,
+    keep_records: bool,
+    timeout: Optional[float] = None,
 ) -> tuple[SimulationSummary, Optional[list[CollectionRecord]], float]:
-    """Execute one (spec, seed) run; the unit of work shipped to workers."""
+    """Execute one (spec, seed) run; the unit of work shipped to workers.
+
+    ``timeout`` is enforced with ``SIGALRM`` where the platform and calling
+    context allow it (POSIX, main thread); elsewhere it degrades to no
+    timeout rather than failing the run.
+    """
     started = time.perf_counter()
-    policy, trace, selection = spec.resolve(seed)
-    result = Simulation(policy=policy, selection=selection, config=spec.sim).run(trace)
+    restore = None
+    if timeout is not None and hasattr(signal, "SIGALRM"):
+        try:
+            restore = signal.signal(signal.SIGALRM, _alarm_handler)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        except ValueError:  # not in the main thread: run without a timeout
+            restore = None
+    try:
+        policy, trace, selection = spec.resolve(seed)
+        faults = FaultInjector(spec.faults) if spec.faults is not None else None
+        result = Simulation(
+            policy=policy, selection=selection, config=spec.sim, faults=faults
+        ).run(trace)
+    finally:
+        if restore is not None:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, restore)
     elapsed = time.perf_counter() - started
     records = list(result.collections) if keep_records else None
     return result.summary, records, elapsed
@@ -83,7 +163,17 @@ class ParallelRunner:
             runs everything in-process (the deterministic baseline path).
         cache: A :class:`ResultCache`, a directory path to open one in, or
             ``None`` to disable caching.
-        progress: Callback invoked once per completed run.
+        progress: Callback invoked once per settled run.
+        retries: Extra attempts per run after the first one fails
+            (exponential backoff between attempts). ``0`` fails fast.
+        retry_backoff: Base backoff in seconds; attempt *n* waits
+            ``retry_backoff * 2**(n-1)`` before retrying.
+        run_timeout: Per-run wall-clock budget in seconds; a run exceeding
+            it is treated as failed (and retried like any other failure).
+        faults: A :class:`~repro.faults.plan.FaultPlan` composed onto every
+            spec in the batch that does not already carry one — the CLI's
+            ``--faults`` plumbing. Fault plans are part of the cache
+            fingerprint, so faulty and fault-free runs never share entries.
     """
 
     def __init__(
@@ -91,12 +181,26 @@ class ParallelRunner:
         jobs: Optional[int] = None,
         cache: CacheLike = None,
         progress: Optional[ProgressCallback] = None,
+        retries: int = 0,
+        retry_backoff: float = 0.5,
+        run_timeout: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if run_timeout is not None and run_timeout <= 0:
+            raise ValueError(f"run_timeout must be > 0, got {run_timeout}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.cache = _as_cache(cache)
         self.progress = progress
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.run_timeout = run_timeout
+        self.faults = faults
 
     # ------------------------------------------------------------------
     # Entry points
@@ -123,6 +227,10 @@ class ParallelRunner:
         keeps all workers busy even when a single setting has fewer seeds
         than there are cores. Results come back in spec order, each an
         :class:`AggregateResult` with per-setting cache/wall-time stats.
+
+        The batch always completes: runs that fail after retries are
+        quarantined into the setting's ``failures`` list and excluded from
+        its aggregate statistics.
         """
         specs = list(specs)
         seeds = list(seeds)
@@ -130,12 +238,17 @@ class ParallelRunner:
             return []
         if not seeds:
             raise ValueError("at least one seed is required")
+        if self.faults is not None:
+            specs = [
+                spec if spec.faults is not None
+                else dataclasses.replace(spec, faults=self.faults)
+                for spec in specs
+            ]
 
         tasks = [(si, seed) for si in range(len(specs)) for seed in seeds]
-        outcomes: list[Optional[tuple]] = [None] * len(tasks)
+        outcomes: list[Union[_Success, _Failure, None]] = [None] * len(tasks)
         fingerprints: list[Optional[str]] = [None] * len(tasks)
-        self._completed = 0
-        self._total = len(tasks)
+        progress = _Progress(total=len(tasks))
 
         pending: list[int] = []
         for index, (si, seed) in enumerate(tasks):
@@ -144,16 +257,34 @@ class ParallelRunner:
                 fingerprints[index] = fingerprint
                 hit = self.cache.get(fingerprint, want_records=keep_records)
                 if hit is not None:
-                    outcomes[index] = (hit.summary, hit.records, True, 0.0)
-                    self._emit(specs[si], seed, cached=True, wall_time=0.0)
+                    outcomes[index] = _Success(
+                        hit.summary, hit.records, cached=True, elapsed=0.0, attempts=0
+                    )
+                    self._emit(progress, specs[si], seed, cached=True, wall_time=0.0)
                     continue
             pending.append(index)
 
         workers = min(self.jobs, len(pending))
         if workers > 1:
-            self._run_pooled(specs, tasks, pending, fingerprints, outcomes, keep_records, workers)
+            try:
+                self._run_pooled(
+                    specs, tasks, pending, fingerprints, outcomes,
+                    keep_records, workers, progress,
+                )
+            except BrokenProcessPool:
+                # The pool died under us (worker killed, interpreter
+                # mismatch, ...). Degrade gracefully: finish whatever is
+                # still unsettled on the in-process serial path.
+                remaining = [i for i in pending if outcomes[i] is None]
+                self._run_serial(
+                    specs, tasks, remaining, fingerprints, outcomes,
+                    keep_records, progress,
+                )
         else:
-            self._run_serial(specs, tasks, pending, fingerprints, outcomes, keep_records)
+            self._run_serial(
+                specs, tasks, pending, fingerprints, outcomes,
+                keep_records, progress,
+            )
 
         return self._assemble(specs, seeds, tasks, outcomes, keep_records)
 
@@ -161,37 +292,89 @@ class ParallelRunner:
     # Execution paths
     # ------------------------------------------------------------------
 
-    def _run_serial(self, specs, tasks, pending, fingerprints, outcomes, keep_records):
+    def _backoff(self, attempt: int) -> None:
+        """Sleep before retry ``attempt`` (1-based): exponential backoff."""
+        delay = self.retry_backoff * (2 ** (attempt - 1))
+        if delay > 0:
+            time.sleep(delay)
+
+    def _run_serial(self, specs, tasks, pending, fingerprints, outcomes,
+                    keep_records, progress):
         for index in pending:
             si, seed = tasks[index]
-            summary, records, elapsed = _simulate(specs[si], seed, keep_records)
-            self._finish(index, specs[si], seed, summary, records, elapsed,
-                         fingerprints[index], outcomes)
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    summary, records, elapsed = _simulate(
+                        specs[si], seed, keep_records, timeout=self.run_timeout
+                    )
+                except Exception as exc:
+                    if attempt <= self.retries:
+                        self._backoff(attempt)
+                        continue
+                    self._fail(progress, index, specs[si], seed, exc, attempt,
+                               outcomes)
+                    break
+                self._finish(progress, index, specs[si], seed, summary, records,
+                             elapsed, attempt, fingerprints[index], outcomes)
+                break
 
     def _run_pooled(self, specs, tasks, pending, fingerprints, outcomes,
-                    keep_records, workers):
+                    keep_records, workers, progress):
+        attempts = {index: 1 for index in pending}
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(_simulate, specs[tasks[index][0]], tasks[index][1],
-                            keep_records): index
-                for index in pending
-            }
-            for future in as_completed(futures):
-                index = futures[future]
-                si, seed = tasks[index]
-                summary, records, elapsed = future.result()
-                self._finish(index, specs[si], seed, summary, records, elapsed,
-                             fingerprints[index], outcomes)
 
-    def _finish(self, index, spec, seed, summary, records, elapsed,
-                fingerprint, outcomes):
-        outcomes[index] = (summary, records, False, elapsed)
+            def submit(index):
+                si, seed = tasks[index]
+                return pool.submit(
+                    _simulate, specs[si], seed, keep_records, self.run_timeout
+                )
+
+            futures = {submit(index): index for index in pending}
+            while futures:
+                done, _ = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures.pop(future)
+                    si, seed = tasks[index]
+                    try:
+                        summary, records, elapsed = future.result()
+                    except BrokenProcessPool:
+                        raise  # pool is dead; outer handler goes serial
+                    except Exception as exc:
+                        if attempts[index] <= self.retries:
+                            self._backoff(attempts[index])
+                            attempts[index] += 1
+                            futures[submit(index)] = index
+                            continue
+                        self._fail(progress, index, specs[si], seed, exc,
+                                   attempts[index], outcomes)
+                        continue
+                    self._finish(progress, index, specs[si], seed, summary,
+                                 records, elapsed, attempts[index],
+                                 fingerprints[index], outcomes)
+
+    # ------------------------------------------------------------------
+    # Settling
+    # ------------------------------------------------------------------
+
+    def _finish(self, progress, index, spec, seed, summary, records, elapsed,
+                attempts, fingerprint, outcomes):
+        outcomes[index] = _Success(
+            summary, records, cached=False, elapsed=elapsed, attempts=attempts
+        )
         if self.cache is not None and fingerprint is not None:
             self.cache.put(fingerprint, summary, records)
-        self._emit(spec, seed, cached=False, wall_time=elapsed)
+        self._emit(progress, spec, seed, cached=False, wall_time=elapsed)
 
-    def _emit(self, spec, seed, cached, wall_time):
-        self._completed += 1
+    def _fail(self, progress, index, spec, seed, exc, attempts, outcomes):
+        outcomes[index] = _Failure(error=repr(exc), attempts=attempts)
+        self._emit(progress, spec, seed, cached=False, wall_time=0.0,
+                   failed=True, error=repr(exc))
+
+    def _emit(self, progress, spec, seed, cached, wall_time,
+              failed=False, error=None):
+        progress.completed += 1
         if self.progress is None:
             return
         self.progress(
@@ -200,8 +383,10 @@ class ParallelRunner:
                 seed=seed,
                 cached=cached,
                 wall_time=wall_time,
-                completed=self._completed,
-                total=self._total,
+                completed=progress.completed,
+                total=progress.total,
+                failed=failed,
+                error=error,
             )
         )
 
@@ -212,19 +397,32 @@ class ParallelRunner:
     @staticmethod
     def _assemble(specs, seeds, tasks, outcomes, keep_records):
         results = []
-        for si in range(len(specs)):
+        for si, spec in enumerate(specs):
             stats = RunStats()
             aggregate = AggregateResult(summaries=[], stats=stats)
-            for j in range(len(seeds)):
-                summary, records, cached, elapsed = outcomes[si * len(seeds) + j]
-                aggregate.summaries.append(summary)
+            for j, seed in enumerate(seeds):
+                outcome = outcomes[si * len(seeds) + j]
+                if isinstance(outcome, _Failure):
+                    stats.failures += 1
+                    stats.retries += outcome.attempts - 1
+                    aggregate.failures.append(
+                        RunFailure(
+                            label=spec.label or spec.policy.kind,
+                            seed=seed,
+                            error=outcome.error,
+                            attempts=outcome.attempts,
+                        )
+                    )
+                    continue
+                aggregate.summaries.append(outcome.summary)
                 if keep_records:
-                    aggregate.records.append(records or [])
-                if cached:
+                    aggregate.records.append(outcome.records or [])
+                if outcome.cached:
                     stats.cache_hits += 1
                 else:
                     stats.cache_misses += 1
-                stats.wall_time += elapsed
+                    stats.retries += outcome.attempts - 1
+                stats.wall_time += outcome.elapsed
             results.append(aggregate)
         return results
 
@@ -237,6 +435,10 @@ def run_experiment(
     cache: CacheLike = None,
     progress: Optional[ProgressCallback] = None,
     keep_records: bool = False,
+    retries: int = 0,
+    retry_backoff: float = 0.5,
+    run_timeout: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> AggregateResult:
     """Run one experimental setting across seeds, in parallel, with caching.
 
@@ -244,9 +446,14 @@ def run_experiment(
     ``spec`` names everything by registry key, so runs can execute in worker
     processes (``jobs``; ``None`` = all cores, ``1`` = in-process) and be
     memoised in ``cache``. ``keep_records=True`` additionally returns each
-    run's per-collection records (Figures 6/7 need them).
+    run's per-collection records (Figures 6/7 need them). ``retries``,
+    ``run_timeout`` and ``faults`` configure the failure-tolerance layer —
+    see :class:`ParallelRunner`.
     """
-    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    runner = ParallelRunner(
+        jobs=jobs, cache=cache, progress=progress, retries=retries,
+        retry_backoff=retry_backoff, run_timeout=run_timeout, faults=faults,
+    )
     return runner.run(spec, seeds, keep_records=keep_records)
 
 
@@ -258,7 +465,14 @@ def run_experiment_batch(
     cache: CacheLike = None,
     progress: Optional[ProgressCallback] = None,
     keep_records: bool = False,
+    retries: int = 0,
+    retry_backoff: float = 0.5,
+    run_timeout: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
 ) -> list[AggregateResult]:
     """Run several settings over the same seeds in one parallel fan-out."""
-    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    runner = ParallelRunner(
+        jobs=jobs, cache=cache, progress=progress, retries=retries,
+        retry_backoff=retry_backoff, run_timeout=run_timeout, faults=faults,
+    )
     return runner.run_batch(specs, seeds, keep_records=keep_records)

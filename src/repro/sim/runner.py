@@ -106,15 +106,38 @@ class RunStats:
     cache_hits: int = 0
     #: Runs that had to be simulated.
     cache_misses: int = 0
+    #: Runs that failed even after retries (quarantined, not aggregated).
+    failures: int = 0
+    #: Extra attempts spent retrying runs that eventually succeeded or failed.
+    retries: int = 0
 
     @property
     def runs(self) -> int:
+        """Runs that completed (from cache or simulation); excludes failures."""
         return self.cache_hits + self.cache_misses
 
     def merge(self, other: "RunStats") -> None:
         self.wall_time += other.wall_time
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.failures += other.failures
+        self.retries += other.retries
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One quarantined run: it failed every attempt and was excluded.
+
+    The batch survives — the failure is recorded here (and counted in
+    :attr:`RunStats.failures`) instead of killing the whole sweep.
+    """
+
+    label: str
+    seed: int
+    #: ``repr`` of the final exception.
+    error: str
+    #: Total attempts made (1 + retries).
+    attempts: int
 
 
 @dataclass
@@ -129,6 +152,9 @@ class AggregateResult:
     records: list[list[CollectionRecord]] = field(default_factory=list)
     #: Wall-time and cache accounting (populated by the engine).
     stats: Optional[RunStats] = None
+    #: Runs that failed after exhausting retries (engine-populated). The
+    #: aggregate statistics above are computed over successful runs only.
+    failures: list[RunFailure] = field(default_factory=list)
 
     @property
     def runs(self) -> int:

@@ -17,15 +17,19 @@ volunteer extra collections.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from repro.core.extensions import OpportunisticPolicy
 from repro.core.rate_policy import PolicyContext, RatePolicy, TimeBase, Trigger
+from repro.faults.injector import FaultInjector, SimulatedCrash
+from repro.faults.plan import FaultPlan
 from repro.gc.collector import CollectionResult, CopyingCollector
 from repro.gc.selection import PartitionSelectionPolicy, UpdatedPointerSelection
 from repro.sim.metrics import Sampler, SimulationSummary
 from repro.storage.heap import ObjectStore, StoreConfig
+from repro.tx.recovery import RedoLog
 from repro.events import (
     AbortTransactionEvent,
     AccessEvent,
@@ -59,6 +63,13 @@ class SimulationConfig:
             transactional traces then pay realistic logging I/O (charged as
             application I/O, so it competes with the collector under SAIO).
         wal_page_size: Log page size when the WAL is enabled.
+        enable_redo_log: Maintain a logical redo log
+            (:class:`~repro.tx.recovery.RedoLog`) sufficient to rebuild the
+            committed state after a crash. Mutations outside an explicit
+            transaction are auto-committed as singleton transactions so the
+            log covers the whole trace. Logical logging charges no I/O, so
+            enabling it never changes simulation results — it only makes
+            crash–recover–continue drills possible.
     """
 
     store: StoreConfig = field(default_factory=StoreConfig)
@@ -69,6 +80,7 @@ class SimulationConfig:
     validate_every: int = 0
     enable_wal: bool = False
     wal_page_size: int = 8 * 1024
+    enable_redo_log: bool = False
 
 
 @dataclass
@@ -97,11 +109,28 @@ class Simulation:
         policy: RatePolicy,
         selection: Optional[PartitionSelectionPolicy] = None,
         config: Optional[SimulationConfig] = None,
+        faults: Union[FaultInjector, FaultPlan, None] = None,
+        store: Optional[ObjectStore] = None,
+        redo_log: Optional[RedoLog] = None,
     ) -> None:
+        """Args beyond the policy/selection/config triple:
+
+        faults: A :class:`~repro.faults.plan.FaultPlan` (an injector is
+            built from it) or a live :class:`~repro.faults.injector.
+            FaultInjector` (shared across crash–recover–continue cycles so
+            occurrence counters keep advancing). Wired into the storage,
+            transaction and collection layers.
+        store: An existing store to run against — a crash-recovery drill
+            passes the store :func:`~repro.tx.recovery.recover` rebuilt.
+            Must have been built with a geometry matching ``config.store``.
+        redo_log: An existing redo log to append to (resumed runs continue
+            the pre-crash log); a fresh one is created when
+            ``config.enable_redo_log`` is set and no log is given.
+        """
         self.config = config or SimulationConfig()
         self.policy = policy
         self.selection = selection or UpdatedPointerSelection()
-        self.store = ObjectStore(self.config.store)
+        self.store = store if store is not None else ObjectStore(self.config.store)
         self.collector = CopyingCollector(self.store)
         self.sampler = Sampler(
             preamble_collections=self.config.preamble_collections,
@@ -113,32 +142,80 @@ class Simulation:
             from repro.tx.wal import WriteAheadLog
 
             wal = WriteAheadLog(self.store.iostats, page_size=self.config.wal_page_size)
-        self.tx = TransactionManager(self.store, wal=wal)
+        self.redo_log = redo_log
+        if self.redo_log is None and self.config.enable_redo_log:
+            self.redo_log = RedoLog()
+        self.tx = TransactionManager(self.store, wal=wal, redo_log=self.redo_log)
+        self.faults = FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
+        if self.faults is not None:
+            self.store.attach_fault_injector(self.faults)
+            self.tx.fault_hook = self.faults.fire
+        # Auto-commit transactions use negative txids so they can never
+        # collide with trace txids; when resuming onto an existing log the
+        # counter continues below the log's most negative id.
+        self._auto_txid = -1
+        if self.redo_log is not None and self.redo_log.records:
+            floor = min((r.txid for r in self.redo_log.records), default=0)
+            self._auto_txid = min(self._auto_txid, floor - 1)
         self._trigger: Optional[Trigger] = None
         self._due_at: float = float("inf")
+        self._event_index = -1
+        self._event_applied = True
+        self._tx_start_index: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
 
-    def run(self, trace: Iterable[TraceEvent]) -> SimulationResult:
-        """Replay a trace to completion and return the results."""
-        self._schedule(self.policy.first_trigger(self.store, self.store.iostats))
-        for event in trace:
-            self._apply(event)
-            if isinstance(event, PhaseMarkerEvent):
-                continue
-            if isinstance(event, IdleEvent):
-                self._handle_idle(event.ticks)
-                continue
-            self._note_activity()
-            self.sampler.on_event(self.store, self.store.iostats)
-            if self.tx.in_transaction:
-                # The database is never collected mid-transaction (§3.2's
-                # whole-database-lock model); triggers fire at commit/abort.
-                continue
-            while self._clock() >= self._due_at:
-                self._collect()
+    def run(
+        self, trace: Iterable[TraceEvent], start_index: int = 0
+    ) -> SimulationResult:
+        """Replay a trace to completion and return the results.
+
+        ``start_index`` skips the first events of the trace while keeping
+        event indices absolute — a crash-recovery drill passes the full
+        trace together with the crash's ``resume_index`` so the resumed run
+        re-executes exactly the events whose effects were lost.
+
+        An injected crash propagates as :class:`~repro.faults.injector.
+        SimulatedCrash`, annotated with the current ``event_index`` and the
+        ``resume_index`` a continuation must restart from (the begin of the
+        transaction in flight, or the next unprocessed event).
+        """
+        if start_index:
+            trace = itertools.islice(iter(trace), start_index, None)
+        self._event_index = start_index - 1
+        self._tx_start_index = None
+        try:
+            self._schedule(self.policy.first_trigger(self.store, self.store.iostats))
+            for event in trace:
+                self._event_index += 1
+                # Tracks whether the current event's application finished;
+                # decides if a crash resumes at this event or the next one.
+                self._event_applied = False
+                self._apply(event)
+                self._event_applied = True
+                if isinstance(event, PhaseMarkerEvent):
+                    continue
+                if isinstance(event, IdleEvent):
+                    self._handle_idle(event.ticks)
+                    continue
+                self._note_activity()
+                self.sampler.on_event(self.store, self.store.iostats)
+                if self.tx.in_transaction:
+                    # The database is never collected mid-transaction (§3.2's
+                    # whole-database-lock model); triggers fire at commit/abort.
+                    continue
+                while self._clock() >= self._due_at:
+                    self._collect()
+        except SimulatedCrash as crash:
+            crash.event_index = self._event_index
+            crash.resume_index = (
+                self._tx_start_index
+                if self.tx.in_transaction and self._tx_start_index is not None
+                else self._event_index + (0 if not self._event_applied else 1)
+            )
+            raise
         return SimulationResult(
             summary=self.sampler.summary(self.store, self.store.iostats),
             sampler=self.sampler,
@@ -150,10 +227,31 @@ class Simulation:
     # Event application
     # ------------------------------------------------------------------
 
+    #: Events whose application mutates durable logical state.
+    _MUTATING = (PointerWriteEvent, CreateEvent, UpdateEvent, RootEvent)
+
     def _apply(self, event: TraceEvent) -> None:
-        # Mutations route through the transaction manager while a
-        # transaction is open, so aborts can physically undo them.
-        sink = self.tx if self.tx.in_transaction else self.store
+        # With redo logging enabled, mutations outside an explicit
+        # transaction are auto-committed as singleton transactions so the
+        # redo log covers the entire trace (recovery would otherwise lose
+        # them). Auto-commit txids are negative — they can never collide
+        # with trace txids. Logical logging charges no I/O, so results are
+        # unchanged.
+        if (
+            self.redo_log is not None
+            and not self.tx.in_transaction
+            and isinstance(event, self._MUTATING)
+        ):
+            txid = self._auto_txid
+            self._auto_txid -= 1
+            self.tx.begin(txid)
+            self._tx_start_index = self._event_index
+            self._dispatch(event, self.tx)
+            self.tx.commit(txid)
+            return
+        self._dispatch(event, self.tx if self.tx.in_transaction else self.store)
+
+    def _dispatch(self, event: TraceEvent, sink) -> None:
         if isinstance(event, PointerWriteEvent):
             sink.write_pointer(event.src, event.slot, event.target, dies=event.dies)
         elif isinstance(event, CreateEvent):
@@ -171,6 +269,7 @@ class Simulation:
             sink.register_root(event.oid)
         elif isinstance(event, BeginTransactionEvent):
             self.tx.begin(event.txid)
+            self._tx_start_index = self._event_index
         elif isinstance(event, CommitTransactionEvent):
             self.tx.commit(event.txid)
         elif isinstance(event, AbortTransactionEvent):
@@ -213,6 +312,12 @@ class Simulation:
             # Nothing collectable; push the deadline forward by re-arming.
             self._schedule(self._trigger)
             return
+        if self.faults is not None:
+            # Crash point between partition selection and the collection
+            # itself — the model's "mid-collection" crash (collection is
+            # atomic here, and it is never logged, so a crash at any point
+            # inside it is equivalent to a crash just before it).
+            self.faults.fire("gc.collect")
         result = self.collector.collect(pid)
         self.store.iostats.mark_collection()
         ctx = PolicyContext(result=result, store=self.store, iostats=self.store.iostats)

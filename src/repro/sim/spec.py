@@ -36,10 +36,12 @@ from repro.core.rate_policy import RatePolicy
 from repro.core.saga import SagaPolicy
 from repro.core.saio import SaioPolicy
 from repro.events import TraceEvent
+from repro.faults.plan import FaultPlan
 from repro.gc.selection import PartitionSelectionPolicy, make_selection_policy
 from repro.oo7.config import OO7Config
 from repro.sim.simulator import SimulationConfig
 from repro.workload.application import Oo7Application
+from repro.workload.transactional import TransactionalSpec, TransactionalWorkload
 
 # ----------------------------------------------------------------------
 # Spec dataclasses
@@ -95,6 +97,11 @@ class ExperimentSpec:
     trace and selection policy — nothing stateful is ever shared between
     runs. ``label`` is display-only (progress lines) and deliberately
     excluded from the cache fingerprint.
+
+    ``faults`` optionally attaches a deterministic failure schedule
+    (:class:`~repro.faults.plan.FaultPlan`) to every run of the spec; it
+    *is* part of the cache fingerprint, since injected faults change what
+    the run produces.
     """
 
     policy: PolicySpec
@@ -102,6 +109,7 @@ class ExperimentSpec:
     selection: SelectionSpec = field(default_factory=SelectionSpec)
     sim: SimulationConfig = field(default_factory=SimulationConfig)
     label: str = ""
+    faults: Optional[FaultPlan] = None
 
     def resolve(
         self, seed: int
@@ -218,6 +226,17 @@ def _build_oo7(seed: int, config: OO7Config, **kwargs) -> Iterable[TraceEvent]:
 register_workload("oo7", _build_oo7)
 
 
+def _build_transactional(
+    seed: int, spec: Optional[TransactionalSpec] = None, initial_clusters: int = 40
+) -> Iterable[TraceEvent]:
+    return TransactionalWorkload(
+        spec or TransactionalSpec(), seed=seed, initial_clusters=initial_clusters
+    ).events()
+
+
+register_workload("transactional", _build_transactional)
+
+
 def _selection_builder(name: str) -> SelectionBuilder:
     def build(seed: int) -> PartitionSelectionPolicy:
         return make_selection_policy(name, seed=seed)
@@ -274,6 +293,10 @@ def spec_material(spec: ExperimentSpec, seed: Optional[int] = None) -> dict:
         "selection": _canonical(spec.selection),
         "sim": _canonical(spec.sim),
     }
+    # Included only when set, so fingerprints of fault-free specs are
+    # unchanged by the existence of the faults feature.
+    if spec.faults is not None:
+        material["faults"] = _canonical(spec.faults)
     if seed is not None:
         material["seed"] = seed
     return material

@@ -68,6 +68,12 @@ class BufferPool:
         # Maps page id -> dirty flag; ordering encodes recency (MRU last).
         self._pages: OrderedDict[PageId, bool] = OrderedDict()
         self.stats = BufferStats()
+        #: Optional fault-injection hook, called as ``hook(page, category)``
+        #: before every dirty write-back (the ``page.write`` site). It may
+        #: raise an injected I/O error, or record the write as *torn* — the
+        #: page image is then considered lost, which recovery from the
+        #: logical redo log must tolerate.
+        self.write_hook = None
 
     # ------------------------------------------------------------------
     # Core operations
@@ -119,7 +125,7 @@ class BufferPool:
         written = 0
         for page, dirty in self._pages.items():
             if dirty:
-                self._iostats.record_write(category)
+                self._write_back(page, category)
                 self._pages[page] = False
                 written += 1
         return written
@@ -136,7 +142,7 @@ class BufferPool:
         victims = [page for page in self._pages if page[0] == pid]
         for page in victims:
             if self._pages[page]:
-                self._iostats.record_write(category)
+                self._write_back(page, category)
             del self._pages[page]
         return len(victims)
 
@@ -151,6 +157,11 @@ class BufferPool:
     def _evict_to(self, target_len: int, category: IOCategory) -> None:
         """Evict LRU pages until at most ``target_len`` pages remain."""
         while len(self._pages) > target_len:
-            _page, dirty = self._pages.popitem(last=False)
+            page, dirty = self._pages.popitem(last=False)
             if dirty:
-                self._iostats.record_write(category)
+                self._write_back(page, category)
+
+    def _write_back(self, page: PageId, category: IOCategory) -> None:
+        if self.write_hook is not None:
+            self.write_hook(page, category)
+        self._iostats.record_write(category)

@@ -305,6 +305,22 @@ class ObjectStore:
         self.unlinked.discard(oid)
 
     # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def attach_fault_injector(self, injector) -> None:
+        """Wire a :class:`~repro.faults.injector.FaultInjector` into the
+        storage layer.
+
+        After attachment every I/O operation passes through the injector's
+        ``io.read`` / ``io.write`` sites and every dirty page write-back
+        through its ``page.write`` site, so plans can fail individual
+        storage operations or tear page writes deterministically.
+        """
+        self.iostats.fault_hook = injector.fire_io
+        self.buffer.write_hook = injector.fire_page_write
+
+    # ------------------------------------------------------------------
     # Geometry and metrics
     # ------------------------------------------------------------------
 

@@ -62,13 +62,22 @@ class CollectionIORecord:
 
 
 class IOStats:
-    """Central I/O counter with per-collection interval history."""
+    """Central I/O counter with per-collection interval history.
+
+    ``fault_hook`` is the storage layer's fault-injection point: when set
+    (see :meth:`repro.storage.heap.ObjectStore.attach_fault_injector`), it
+    is called as ``hook(site, category)`` with site ``"io.read"`` or
+    ``"io.write"`` *before* the operation is counted, and may raise
+    :class:`~repro.faults.injector.InjectedFaultError` to fail it.
+    """
 
     def __init__(self) -> None:
         self._ledgers = {category: IOLedger() for category in IOCategory}
         self.history: list[CollectionIORecord] = []
         self._app_at_last_mark = 0
         self._gc_at_last_mark = 0
+        #: Optional fault-injection hook: ``hook("io.read"|"io.write", category)``.
+        self.fault_hook = None
 
     # ------------------------------------------------------------------
     # Recording
@@ -77,11 +86,15 @@ class IOStats:
     def record_read(self, category: IOCategory, count: int = 1) -> None:
         if count < 0:
             raise ValueError(f"I/O count must be non-negative, got {count}")
+        if self.fault_hook is not None:
+            self.fault_hook("io.read", category)
         self._ledgers[category].reads += count
 
     def record_write(self, category: IOCategory, count: int = 1) -> None:
         if count < 0:
             raise ValueError(f"I/O count must be non-negative, got {count}")
+        if self.fault_hook is not None:
+            self.fault_hook("io.write", category)
         self._ledgers[category].writes += count
 
     def mark_collection(self) -> CollectionIORecord:

@@ -101,6 +101,11 @@ class TransactionManager:
         self.wal = wal
         #: Optional logical redo log for crash recovery (repro.tx.recovery).
         self.redo_log = redo_log
+        #: Optional fault-injection hook, called as ``hook(site)`` at the
+        #: ``tx.begin`` / ``tx.commit`` / ``tx.abort`` sites — always
+        #: *before* the boundary's state change, so a crash at ``tx.commit``
+        #: loses the transaction (its commit record never becomes durable).
+        self.fault_hook = None
         self._next_txid = 1
         self.current: Optional[Transaction] = None
         self.committed = 0
@@ -118,7 +123,12 @@ class TransactionManager:
     def in_transaction(self) -> bool:
         return self.current is not None and self.current.active
 
+    def _fire(self, site: str) -> None:
+        if self.fault_hook is not None:
+            self.fault_hook(site)
+
     def begin(self, txid: Optional[int] = None) -> Transaction:
+        self._fire("tx.begin")
         if self.in_transaction:
             raise TransactionError(
                 f"transaction {self.current.txid} is still active; "
@@ -135,6 +145,9 @@ class TransactionManager:
 
     def commit(self, txid: Optional[int] = None) -> Transaction:
         txn = self._require_active(txid)
+        # Crash point *before* the commit record: a crash here loses the
+        # transaction entirely — recovery replays nothing of it.
+        self._fire("tx.commit")
         txn.state = TransactionState.COMMITTED
         txn.undo_log.clear()
         self.current = None
@@ -149,6 +162,7 @@ class TransactionManager:
     def abort(self, txid: Optional[int] = None) -> Transaction:
         """Physically undo every operation of the active transaction."""
         txn = self._require_active(txid)
+        self._fire("tx.abort")
         for record in reversed(txn.undo_log):
             self._apply_undo(record)
             self._log("clr")  # compensation log record per undone operation

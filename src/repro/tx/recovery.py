@@ -114,6 +114,22 @@ class RedoLog:
     def committed_txids(self) -> set[int]:
         return {r.txid for r in self.records if r.kind == "commit"}
 
+    def truncate_uncommitted(self) -> int:
+        """Drop records of transactions that neither committed nor aborted.
+
+        Used by crash–recover–continue drills before resuming a trace: the
+        transaction in flight at the crash will be *re-executed* under the
+        same txid, so its orphaned pre-crash records must not linger in the
+        log (recovery would otherwise replay both the lost attempt and the
+        re-execution). Returns the number of records dropped.
+        """
+        resolved = {
+            r.txid for r in self.records if r.kind in ("commit", "abort")
+        }
+        before = len(self.records)
+        self.records = [r for r in self.records if r.txid in resolved]
+        return before - len(self.records)
+
 
 def recover(log: RedoLog, store_config: Optional[StoreConfig] = None) -> ObjectStore:
     """Replay the committed transactions of ``log`` into a fresh store.

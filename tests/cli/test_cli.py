@@ -29,6 +29,7 @@ def test_experiment_registry_is_complete():
         "figure7",
         "figure8",
         "describe",
+        "drill",
         "ablation-clock",
         "ablation-clustering",
         "ablation-estimators",
@@ -144,3 +145,70 @@ def test_run_with_engine_flags(tmp_path, capsys):
         == 0
     )
     assert "completed in" in capsys.readouterr().out
+
+
+def test_fault_tolerance_flags_parse(tmp_path):
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text(
+        '{"seed": 3, "faults": [{"site": "io.write", "at": 1}]}'
+    )
+    args = _build_parser().parse_args(
+        [
+            "figure4",
+            "--retries",
+            "2",
+            "--run-timeout",
+            "5.5",
+            "--faults",
+            str(plan_path),
+        ]
+    )
+    assert args.retries == 2
+    assert args.run_timeout == 5.5
+    assert args.faults == plan_path
+
+
+def test_fault_tolerance_flags_default_off():
+    args = _build_parser().parse_args(["figure4"])
+    assert args.retries == 0
+    assert args.run_timeout is None
+    assert args.faults is None
+
+
+def test_retries_rejects_negative(capsys):
+    with pytest.raises(SystemExit):
+        _build_parser().parse_args(["figure4", "--retries", "-1"])
+    assert "must be >= 0" in capsys.readouterr().err
+
+
+def test_run_with_fault_plan_reports_failures(tmp_path, capsys):
+    """An always-crashing plan still completes and reports partial results."""
+    plan_path = tmp_path / "plan.json"
+    plan_path.write_text('{"faults": [{"site": "io.write", "at": 1}]}')
+    assert (
+        main(
+            [
+                "figure1",
+                "--seeds",
+                "0",
+                "--no-cache",
+                "--jobs",
+                "1",
+                "--faults",
+                str(plan_path),
+                "--retries",
+                "1",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "FAILED" in out
+    assert "completed in" in out
+
+
+def test_drill_experiment_runs_via_cli(capsys):
+    assert main(["drill", "--seeds", "0", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "IDENTICAL" in out
+    assert "completed in" in out

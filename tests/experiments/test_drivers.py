@@ -156,3 +156,34 @@ def test_tiny_config_also_works_end_to_end():
     """Even the test-scale TINY config flows through a driver."""
     result = run_figure1(rates=(30,), seeds=[0], config=TINY)
     assert result.rows[0].collections_mean >= 0
+
+
+def test_every_driver_survives_all_runs_failing():
+    """Partial-results guarantee: an always-crashing fault plan must never
+    kill a driver's report formatting — every formatter degrades gracefully
+    when zero runs survive."""
+    from repro.cli import main as cli_main
+    import json
+
+    plan = {"faults": [{"site": "io.write", "at": 1}]}
+    import tempfile, pathlib
+
+    with tempfile.TemporaryDirectory() as tmp:
+        plan_path = pathlib.Path(tmp) / "plan.json"
+        plan_path.write_text(json.dumps(plan))
+        for name in ("figure6", "figure7", "ablation-clock", "ablation-selection"):
+            assert (
+                cli_main(
+                    [
+                        name,
+                        "--seeds",
+                        "0",
+                        "--no-cache",
+                        "--jobs",
+                        "1",
+                        "--faults",
+                        str(plan_path),
+                    ]
+                )
+                == 0
+            ), name

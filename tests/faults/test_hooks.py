@@ -1,0 +1,83 @@
+"""The storage / transaction layers actually reach their fault sites."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector, InjectedIOError, SimulatedCrash
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.storage.heap import ObjectStore, StoreConfig
+from repro.storage.iostats import IOCategory
+from repro.tx.manager import TransactionManager
+
+CFG = StoreConfig(page_size=256, partition_pages=4, buffer_pages=4)
+
+
+def test_store_reads_and_writes_reach_io_sites():
+    store = ObjectStore(CFG)
+    injector = FaultInjector(FaultPlan())
+    store.attach_fault_injector(injector)
+    root = store.create(size=64)
+    store.register_root(root)
+    store.access(root)
+    assert injector.occurrences("io.read") > 0
+
+
+def test_injected_io_error_surfaces_from_storage():
+    store = ObjectStore(CFG)
+    root = store.create(size=64)
+    # Push the root's page out of the 4-page buffer so the next access is
+    # a real disk read, then attach: occurrence 1 of io.read is that read.
+    for _ in range(16):
+        store.create(size=200)
+    injector = FaultInjector(
+        FaultPlan(faults=(FaultSpec(site="io.read", effect="io-error", at=1),))
+    )
+    store.attach_fault_injector(injector)
+    with pytest.raises(InjectedIOError):
+        store.access(root)
+
+
+def test_page_write_site_sees_write_backs():
+    store = ObjectStore(CFG)
+    injector = FaultInjector(FaultPlan())
+    store.attach_fault_injector(injector)
+    for _ in range(8):
+        store.create(size=200)
+    store.buffer.flush(IOCategory.APPLICATION)
+    assert injector.occurrences("page.write") > 0
+
+
+def test_torn_write_recorded_on_flush():
+    store = ObjectStore(CFG)
+    injector = FaultInjector(
+        FaultPlan(faults=(FaultSpec(site="page.write", effect="torn-write", at=1),))
+    )
+    store.attach_fault_injector(injector)
+    store.create(size=200)
+    store.buffer.flush(IOCategory.APPLICATION)
+    assert len(injector.torn_pages) == 1
+
+
+def test_tx_commit_crash_fires_before_any_commit_effects():
+    store = ObjectStore(CFG)
+    manager = TransactionManager(store)
+    injector = FaultInjector(FaultPlan(faults=(FaultSpec(site="tx.commit", at=1),)))
+    manager.fault_hook = injector.fire
+    manager.begin()
+    oid = manager.create(size=32)
+    manager.register_root(oid)
+    with pytest.raises(SimulatedCrash):
+        manager.commit()
+    # The crash hit before the commit took effect: the tx is still open.
+    assert manager.in_transaction
+
+
+def test_tx_begin_and_abort_sites():
+    store = ObjectStore(CFG)
+    manager = TransactionManager(store)
+    injector = FaultInjector(FaultPlan())
+    manager.fault_hook = injector.fire
+    manager.begin()
+    manager.create(size=32)
+    manager.abort()
+    assert injector.occurrences("tx.begin") == 1
+    assert injector.occurrences("tx.abort") == 1

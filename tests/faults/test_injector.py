@@ -1,0 +1,142 @@
+"""FaultInjector semantics: determinism, firing rules, effects."""
+
+import pytest
+
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedIOError,
+    SimulatedCrash,
+)
+from repro.faults.plan import FaultPlan, FaultSpec
+
+
+def test_at_fires_on_exact_occurrence():
+    injector = FaultInjector(FaultPlan(faults=(FaultSpec(site="io.read", at=3),)))
+    injector.fire("io.read")
+    injector.fire("io.read")
+    with pytest.raises(SimulatedCrash) as exc:
+        injector.fire("io.read")
+    assert exc.value.site == "io.read"
+    assert exc.value.occurrence == 3
+
+
+def test_single_shot_fault_retires_after_firing():
+    injector = FaultInjector(FaultPlan(faults=(FaultSpec(site="io.read", at=1),)))
+    with pytest.raises(SimulatedCrash):
+        injector.fire("io.read")
+    # Retired: later occurrences pass through.
+    for _ in range(10):
+        injector.fire("io.read")
+    assert injector.crashes == 1
+
+
+def test_repeating_at_fault_fires_on_every_multiple():
+    plan = FaultPlan(
+        faults=(FaultSpec(site="io.write", effect="io-error", at=2, repeat=True),)
+    )
+    injector = FaultInjector(plan)
+    errors = 0
+    for _ in range(6):
+        try:
+            injector.fire("io.write")
+        except InjectedIOError:
+            errors += 1
+    assert errors == 3  # occurrences 2, 4, 6
+
+
+def test_sites_count_independently():
+    injector = FaultInjector(FaultPlan(faults=(FaultSpec(site="tx.commit", at=2),)))
+    injector.fire("tx.begin")
+    injector.fire("tx.commit")
+    injector.fire("tx.begin")
+    with pytest.raises(SimulatedCrash):
+        injector.fire("tx.commit")
+    assert injector.occurrences("tx.begin") == 2
+    assert injector.occurrences("tx.commit") == 2
+
+
+def test_torn_write_records_page_and_does_not_raise():
+    plan = FaultPlan(
+        faults=(FaultSpec(site="page.write", effect="torn-write", at=2),)
+    )
+    injector = FaultInjector(plan)
+    injector.fire("page.write", detail=("p", 0))
+    injector.fire("page.write", detail=("p", 1))  # fires silently
+    injector.fire("page.write", detail=("p", 2))
+    assert injector.torn_pages == {("p", 1)}
+    assert [f.effect for f in injector.fired] == ["torn-write"]
+
+
+def test_probabilistic_sequence_is_reproducible():
+    plan = FaultPlan(
+        faults=(
+            FaultSpec(site="io.read", effect="io-error", probability=0.3, repeat=True),
+        ),
+        seed=42,
+    )
+
+    def ledger():
+        injector = FaultInjector(plan)
+        outcomes = []
+        for _ in range(200):
+            try:
+                injector.fire("io.read")
+                outcomes.append(0)
+            except InjectedIOError:
+                outcomes.append(1)
+        return outcomes, [(f.site, f.occurrence, f.effect) for f in injector.fired]
+
+    first, second = ledger(), ledger()
+    assert first == second
+    assert sum(first[0]) > 0  # some faults actually fired
+
+
+def test_probabilistic_sequence_depends_on_plan_seed():
+    def ledger(seed):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="io.read", effect="io-error", probability=0.3, repeat=True),
+            ),
+            seed=seed,
+        )
+        injector = FaultInjector(plan)
+        outcomes = []
+        for _ in range(100):
+            try:
+                injector.fire("io.read")
+                outcomes.append(0)
+            except InjectedIOError:
+                outcomes.append(1)
+        return outcomes
+
+    assert ledger(1) != ledger(2)
+
+
+def test_probability_zero_never_fires_probability_one_always():
+    never = FaultInjector(
+        FaultPlan(
+            faults=(FaultSpec(site="io.read", effect="io-error", probability=0.0, repeat=True),)
+        )
+    )
+    for _ in range(50):
+        never.fire("io.read")
+    assert never.fired == []
+
+    always = FaultInjector(
+        FaultPlan(
+            faults=(FaultSpec(site="io.read", effect="io-error", probability=1.0),)
+        )
+    )
+    with pytest.raises(InjectedIOError):
+        always.fire("io.read")
+
+
+def test_crash_carries_mutable_resume_annotations():
+    injector = FaultInjector(FaultPlan(faults=(FaultSpec(site="tx.commit", at=1),)))
+    with pytest.raises(SimulatedCrash) as exc:
+        injector.fire("tx.commit")
+    crash = exc.value
+    assert crash.event_index is None and crash.resume_index is None
+    crash.event_index = 12
+    crash.resume_index = 10
+    assert (crash.event_index, crash.resume_index) == (12, 10)

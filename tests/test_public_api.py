@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.core",
     "repro.experiments",
+    "repro.faults",
     "repro.gc",
     "repro.oo7",
     "repro.sim",
