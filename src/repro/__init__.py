@@ -84,11 +84,14 @@ from repro.sim import (
 from repro.storage import IOCategory, IOStats, ObjectKind, ObjectStore, StoreConfig
 from repro.tx import Transaction, TransactionError, TransactionManager
 from repro.workload import (
+    CompiledTrace,
     Oo7Application,
     SyntheticPhase,
     SyntheticWorkload,
+    TraceCache,
     TransactionalSpec,
     TransactionalWorkload,
+    compile_trace,
     trace_stats,
 )
 
@@ -101,6 +104,7 @@ __all__ = [
     "CgsCbEstimator",
     "CgsHbEstimator",
     "CollectionResult",
+    "CompiledTrace",
     "CopyingCollector",
     "CoupledSaioSagaPolicy",
     "DecayingOracleBlend",
@@ -149,6 +153,7 @@ __all__ = [
     "SyntheticWorkload",
     "TINY",
     "TimeBase",
+    "TraceCache",
     "Transaction",
     "TransactionError",
     "TransactionManager",
@@ -158,6 +163,7 @@ __all__ = [
     "UpdatedPointerSelection",
     "WorkloadSpec",
     "build_database",
+    "compile_trace",
     "load_fault_plan",
     "make_estimator",
     "make_selection_policy",

@@ -1,0 +1,359 @@
+"""Performance benchmark harness: ``python -m repro bench``.
+
+Tracks the engine's performance trajectory with a standard suite:
+
+* ``figure1_cell`` — one Figure 1 cell end-to-end (build the OO7 trace,
+  replay it under a fixed-rate policy): the representative experiment cost.
+* ``traverse_replay`` — replay of a prebuilt trace only (no build), the
+  pure inner-loop throughput number in events/second.
+* ``trace_compile_load`` — workload rebuild vs trace compile vs binary
+  save/load, demonstrating the compiled-trace speedup.
+* ``sweep_trace_cache`` — a small multi-spec sweep through the trace
+  cache, reporting builds and hit rates.
+
+Results land in ``BENCH_<date>.json`` (see ``--out``)::
+
+    {
+      "format": 1,
+      "date": "2026-08-06",
+      "scale": "standard",          # or "quick" (--quick, CI smoke)
+      "python": "3.11.7",
+      "results": {
+        "traverse_replay": {"events_per_s": ..., "wall_s": ..., ...},
+        ...
+      }
+    }
+
+``--baseline BENCH_old.json --max-regression 0.30`` turns the run into a
+gate: the process exits 1 when any events/second metric drops more than
+the threshold against the baseline (CI compares against the number
+recorded in the repo).
+
+``--profile`` on the experiment runner (``python -m repro <experiment>
+--profile``) complements this with per-function cProfile output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+#: Schema version of the emitted JSON.
+BENCH_FORMAT = 1
+
+#: Metrics (dotted paths into ``results``) the regression gate compares.
+GATED_METRICS = (
+    "figure1_cell.events_per_s",
+    "traverse_replay.events_per_s",
+)
+
+
+def _best_of(repeats: int, fn):
+    """Run ``fn`` ``repeats`` times; return (best_seconds, last_result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _bench_config(quick: bool):
+    from repro.oo7.config import TINY
+    from repro.experiments.common import DEFAULT_CONFIG
+
+    return TINY if quick else DEFAULT_CONFIG
+
+
+def _cell_spec(config, rate: float = 200.0, label: str = "bench"):
+    from repro.experiments.common import SAGA_PREAMBLE, oo7_spec
+    from repro.sim.spec import PolicySpec
+
+    return oo7_spec(
+        PolicySpec("fixed", {"overwrites_per_collection": rate}),
+        config,
+        SAGA_PREAMBLE,
+        label=label,
+    )
+
+
+def _new_simulation(spec, seed: int):
+    from repro.sim.simulator import Simulation
+    from repro.sim.spec import build_policy, build_selection
+
+    return Simulation(
+        policy=build_policy(spec.policy, seed),
+        selection=build_selection(spec.selection, seed),
+        config=spec.sim,
+    )
+
+
+def bench_figure1_cell(quick: bool, repeats: int) -> dict:
+    """One Figure 1 cell end-to-end: trace build + policy replay."""
+    from repro.sim.spec import build_workload
+
+    spec = _cell_spec(_bench_config(quick))
+
+    def cell():
+        events = list(build_workload(spec.workload, 0))
+        result = _new_simulation(spec, 0).run(events)
+        return len(events), result.summary.collections
+
+    wall, (events, collections) = _best_of(repeats, cell)
+    return {
+        "wall_s": round(wall, 4),
+        "events": events,
+        "collections": collections,
+        "events_per_s": round(events / wall, 1),
+    }
+
+
+def bench_traverse_replay(quick: bool, repeats: int) -> dict:
+    """Replay throughput over a prebuilt trace — the inner-loop number.
+
+    The trace is built once outside the timed region; a sparse fixed rate
+    keeps collection cost low so the per-event replay path dominates.
+    """
+    from repro.sim.spec import build_workload
+
+    spec = _cell_spec(_bench_config(quick), rate=800.0)
+    events = list(build_workload(spec.workload, 0))
+
+    def replay():
+        return _new_simulation(spec, 0).run(events).summary.collections
+
+    wall, collections = _best_of(repeats, replay)
+    return {
+        "wall_s": round(wall, 4),
+        "events": len(events),
+        "collections": collections,
+        "events_per_s": round(len(events) / wall, 1),
+    }
+
+
+def bench_trace_compile_load(quick: bool, repeats: int) -> dict:
+    """Workload rebuild vs compile vs binary save/load."""
+    from repro.sim.spec import build_workload
+    from repro.workload.compiled import CompiledTrace, compile_trace
+
+    spec = _cell_spec(_bench_config(quick))
+
+    rebuild_s, events = _best_of(
+        repeats, lambda: list(build_workload(spec.workload, 0))
+    )
+    compile_s, trace = _best_of(repeats, lambda: compile_trace(events))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.trace"
+        save_s, _ = _best_of(repeats, lambda: trace.save(path))
+        load_s, loaded = _best_of(repeats, lambda: CompiledTrace.load(path))
+        file_bytes = path.stat().st_size
+    assert len(loaded) == len(events)
+    return {
+        "events": len(events),
+        "rebuild_s": round(rebuild_s, 4),
+        "compile_s": round(compile_s, 4),
+        "save_s": round(save_s, 4),
+        "load_s": round(load_s, 4),
+        "file_bytes": file_bytes,
+        "load_speedup_vs_rebuild": round(rebuild_s / load_s, 1)
+        if load_s > 0
+        else float("inf"),
+    }
+
+
+def bench_sweep_trace_cache(quick: bool, repeats: int) -> dict:
+    """A small sweep through the trace cache: builds once, hits the rest."""
+    from repro.sim.engine import run_experiment_batch
+    from repro.workload.trace_cache import TraceCache
+
+    config = _bench_config(quick)
+    specs = [_cell_spec(config, rate=r, label=f"bench@{r:g}") for r in (100, 200, 400)]
+    seeds = [0] if quick else [0, 1]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = TraceCache(tmp)
+
+        def sweep():
+            run_experiment_batch(specs, seeds=seeds, jobs=1, trace_cache=cache)
+            return cache.stats
+
+        wall, stats = _best_of(repeats, sweep)
+    return {
+        "wall_s": round(wall, 4),
+        "runs": len(specs) * len(seeds),
+        "trace_builds": stats.builds,
+        "trace_resolutions": stats.resolutions,
+        "trace_hit_rate": round(stats.hit_rate, 4),
+    }
+
+
+#: The standard suite, in execution order.
+SUITE = (
+    ("figure1_cell", bench_figure1_cell),
+    ("traverse_replay", bench_traverse_replay),
+    ("trace_compile_load", bench_trace_compile_load),
+    ("sweep_trace_cache", bench_sweep_trace_cache),
+)
+
+
+def run_suite(quick: bool = False, repeats: int = 2) -> dict:
+    """Run every benchmark; return the BENCH_*.json document."""
+    results = {}
+    for name, fn in SUITE:
+        print(f"[bench] {name} ...", file=sys.stderr)
+        results[name] = fn(quick, repeats)
+    return {
+        "format": BENCH_FORMAT,
+        "date": datetime.date.today().isoformat(),
+        "scale": "quick" if quick else "standard",
+        "python": sys.version.split()[0],
+        "results": results,
+    }
+
+
+def _metric(doc: dict, dotted: str) -> Optional[float]:
+    node = doc.get("results", {})
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check_regression(
+    current: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Gated-metric comparison; returns one message per violation.
+
+    Scales must match — a quick run is never compared against a standard
+    baseline (different workload sizes).
+    """
+    if current.get("scale") != baseline.get("scale"):
+        return [
+            f"baseline scale {baseline.get('scale')!r} does not match "
+            f"current scale {current.get('scale')!r}; not comparable"
+        ]
+    problems = []
+    for dotted in GATED_METRICS:
+        new = _metric(current, dotted)
+        old = _metric(baseline, dotted)
+        if new is None or old is None or old <= 0:
+            continue
+        floor = old * (1.0 - max_regression)
+        if new < floor:
+            problems.append(
+                f"{dotted}: {new:,.0f} events/s is "
+                f"{(1 - new / old) * 100:.1f}% below baseline {old:,.0f} "
+                f"(allowed {max_regression * 100:.0f}%)"
+            )
+    return problems
+
+
+def _format_report(doc: dict) -> str:
+    lines = [f"benchmark suite ({doc['scale']}, python {doc['python']}, {doc['date']})"]
+    r = doc["results"]
+    cell = r["figure1_cell"]
+    lines.append(
+        f"  figure1_cell:       {cell['wall_s']:.3f}s "
+        f"({cell['events_per_s']:,.0f} events/s incl. build)"
+    )
+    rep = r["traverse_replay"]
+    lines.append(
+        f"  traverse_replay:    {rep['wall_s']:.3f}s "
+        f"({rep['events_per_s']:,.0f} events/s, {rep['collections']} collections)"
+    )
+    tcl = r["trace_compile_load"]
+    lines.append(
+        f"  trace_compile_load: rebuild {tcl['rebuild_s']:.3f}s, "
+        f"compile {tcl['compile_s']:.3f}s, load {tcl['load_s']:.4f}s "
+        f"({tcl['load_speedup_vs_rebuild']:g}x faster than rebuild, "
+        f"{tcl['file_bytes']:,} bytes)"
+    )
+    swp = r["sweep_trace_cache"]
+    lines.append(
+        f"  sweep_trace_cache:  {swp['wall_s']:.3f}s for {swp['runs']} runs, "
+        f"{swp['trace_builds']} trace builds, "
+        f"hit rate {swp['trace_hit_rate'] * 100:.0f}%"
+    )
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments bench",
+        description="Run the standard performance suite and write BENCH_<date>.json.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny OO7 configuration — seconds, not minutes (CI smoke)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per benchmark, best-of (default: 2, quick: 1)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output JSON path (default: results/BENCH_<date>.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="BENCH.JSON",
+        help="compare events/s against this earlier BENCH_*.json",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        metavar="FRACTION",
+        help="allowed events/s drop vs baseline before exiting 1 (default 0.30)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 2)
+    doc = run_suite(quick=args.quick, repeats=repeats)
+
+    out = args.out
+    if out is None:
+        out = Path("results") / f"BENCH_{doc['date']}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    print(_format_report(doc))
+    print(f"[written to {out}]", file=sys.stderr)
+
+    if args.baseline is not None:
+        baseline = json.loads(args.baseline.read_text())
+        problems = check_regression(doc, baseline, args.max_regression)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"[no regression vs {args.baseline} at "
+            f"{args.max_regression * 100:.0f}% threshold]",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    raise SystemExit(main())

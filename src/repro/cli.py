@@ -21,6 +21,14 @@ disable with ``--no-cache``); a repeated invocation answers every run from
 the cache without simulating. ``--progress`` reports each completed run on
 stderr.
 
+Workload traces are likewise compiled and cached (default
+``<cache-dir>/traces``, override with ``--trace-cache-dir`` or
+``REPRO_TRACE_CACHE_DIR``, disable with ``--no-trace-cache``), so each
+unique (workload, seed) trace is built once per sweep instead of once per
+policy cell. ``--profile`` wraps the experiment in cProfile and prints the
+hottest functions; ``python -m repro bench`` runs the standard performance
+suite (see :mod:`repro.bench`).
+
 Failure tolerance: ``--retries N`` re-attempts a failing run with
 exponential backoff, ``--run-timeout S`` bounds each run's wall clock, and
 ``--faults plan.json`` injects a deterministic
@@ -47,6 +55,7 @@ from repro.experiments.registry import (
 from repro.faults.plan import load_fault_plan
 from repro.sim.cache import ResultCache
 from repro.sim.engine import SeedOutcome
+from repro.workload.trace_cache import TraceCache
 
 #: Name → experiment, registry-driven (kept as a module attribute because
 #: programmatic callers and the tests introspect it).
@@ -156,6 +165,31 @@ def _build_parser() -> argparse.ArgumentParser:
         help="disable the result cache (every run simulates)",
     )
     parser.add_argument(
+        "--trace-cache-dir",
+        type=Path,
+        default=None,
+        help=(
+            "directory for compiled workload traces (default: "
+            "$REPRO_TRACE_CACHE_DIR or <cache-dir>/traces)"
+        ),
+    )
+    parser.add_argument(
+        "--no-trace-cache",
+        action="store_true",
+        help="disable trace compilation/caching (rebuild the trace per run)",
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="STATS_FILE",
+        help=(
+            "profile the experiment with cProfile; print the hottest "
+            "functions to stderr and optionally dump pstats to STATS_FILE"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print one line per completed simulation run (stderr)",
@@ -204,6 +238,29 @@ def _resolve_cache(args) -> Optional[ResultCache]:
     return ResultCache(root)
 
 
+def _resolve_trace_cache(args) -> Optional[TraceCache]:
+    """Resolve the compiled-trace cache from flags and environment.
+
+    ``--no-trace-cache`` restores the legacy behaviour exactly: the trace
+    is rebuilt from the generator for every run and nothing is written.
+    """
+    if args.no_trace_cache:
+        return None
+    root = args.trace_cache_dir
+    if root is None:
+        env = os.environ.get("REPRO_TRACE_CACHE_DIR")
+        if env:
+            root = Path(env)
+        else:
+            cache_root = args.cache_dir
+            if cache_root is None:
+                cache_root = Path(
+                    os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+                )
+            root = Path(cache_root) / "traces"
+    return TraceCache(root)
+
+
 def _run_named(
     name: str, seeds: Optional[list[int]], options: RunOptions
 ) -> str:
@@ -218,8 +275,31 @@ def _run_named(
     return f"{report}\n\n[{name} completed in {elapsed:.1f}s{stats}]\n"
 
 
+def _profiled(callable_, stats_file: str):
+    """Run ``callable_`` under cProfile; report the hottest functions."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(callable_)
+    finally:
+        profiler.create_stats()
+        if stats_file:
+            profiler.dump_stats(stats_file)
+            print(f"[profile stats written to {stats_file}]", file=sys.stderr)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(25)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] == "bench":
+        from repro.bench import main as bench_main
+
+        return bench_main(raw[1:])
+
+    args = _build_parser().parse_args(raw)
 
     if args.experiment == "list":
         width = max(len(name) for name in EXPERIMENTS)
@@ -228,6 +308,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     cache = _resolve_cache(args)
+    trace_cache = _resolve_trace_cache(args)
     faults = load_fault_plan(args.faults) if args.faults is not None else None
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
@@ -238,8 +319,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             retries=args.retries,
             run_timeout=args.run_timeout,
             faults=faults,
+            trace_cache=trace_cache,
         )
-        report = _run_named(name, args.seeds, options)
+        if args.profile is not None:
+            report = _profiled(
+                lambda: _run_named(name, args.seeds, options), args.profile
+            )
+        else:
+            report = _run_named(name, args.seeds, options)
         print(report)
         target = None
         if args.out_dir is not None:

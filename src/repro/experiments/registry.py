@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.faults.plan import FaultPlan
-from repro.sim.engine import CacheLike, ProgressCallback
+from repro.sim.engine import CacheLike, ProgressCallback, TraceCacheLike
 
 
 @dataclass(frozen=True)
@@ -29,10 +29,13 @@ class RunOptions:
     ``jobs=1`` is the in-process deterministic path; ``jobs=None`` lets the
     engine pick ``os.cpu_count()``. ``cache`` may be a
     :class:`~repro.sim.cache.ResultCache`, a directory path, or ``None``
-    to disable caching. ``retries`` / ``run_timeout`` configure the
-    engine's failure-tolerance layer, and ``faults`` composes a
-    deterministic :class:`~repro.faults.plan.FaultPlan` onto every run
-    (the CLI's ``--retries`` / ``--run-timeout`` / ``--faults`` flags).
+    to disable caching; ``trace_cache`` is the compiled-trace counterpart
+    (:class:`~repro.workload.trace_cache.TraceCache`), so each unique
+    (workload, seed) trace is built once per sweep. ``retries`` /
+    ``run_timeout`` configure the engine's failure-tolerance layer, and
+    ``faults`` composes a deterministic
+    :class:`~repro.faults.plan.FaultPlan` onto every run (the CLI's
+    ``--retries`` / ``--run-timeout`` / ``--faults`` flags).
     """
 
     jobs: Optional[int] = 1
@@ -41,6 +44,7 @@ class RunOptions:
     retries: int = 0
     run_timeout: Optional[float] = None
     faults: Optional[FaultPlan] = None
+    trace_cache: TraceCacheLike = None
 
     def engine_kwargs(self) -> dict:
         """Keyword arguments every spec-engine driver accepts."""
@@ -51,6 +55,7 @@ class RunOptions:
             "retries": self.retries,
             "run_timeout": self.run_timeout,
             "faults": self.faults,
+            "trace_cache": self.trace_cache,
         }
 
 

@@ -207,11 +207,25 @@ class CopyingCollector:
         queue: deque[ObjectId] = deque(roots)
         copied: set[ObjectId] = set(roots)
         order: list[ObjectId] = []
+        # Hot path: the intra-partition adjacency test collapses to a
+        # residents-set membership check (an object resides in ``pid`` iff
+        # its placement says so), with the object table and queue methods
+        # hoisted out of the scan.
+        objects = store.objects
+        residents = store.partitions[pid].residents
+        copied_add = copied.add
+        queue_append = queue.append
+        order_append = order.append
+        popleft = queue.popleft
         while queue:
-            oid = queue.popleft()
-            order.append(oid)
-            for target in store.intra_partition_targets(oid, pid):
-                if target not in copied:
-                    copied.add(target)
-                    queue.append(target)
+            oid = popleft()
+            order_append(oid)
+            for target in objects[oid].pointers.values():
+                if (
+                    target is not None
+                    and target in residents
+                    and target not in copied
+                ):
+                    copied_add(target)
+                    queue_append(target)
         return order

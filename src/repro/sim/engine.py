@@ -26,6 +26,17 @@ Worker processes cannot unpickle closures, which is why the engine runs on
 declarative :class:`~repro.sim.spec.ExperimentSpec` values: the spec
 travels to the worker as plain data and is resolved into live policy /
 trace / selection objects there, once per seed.
+
+Trace resolution is additionally memoised through an optional
+:class:`~repro.workload.trace_cache.TraceCache`: each unique
+(workload, seed) trace in a batch is generated and compiled **once per
+sweep** — in-process for serial runs; for pooled runs the engine pre-warms
+the on-disk compiled binaries (one build per unique trace, fanned over the
+pool) and every worker process opens the same cache through its
+initializer, so warm workers resolve traces by loading compact binaries
+instead of re-running the workload generator. Compiled-trace replay is
+event-for-event identical to the generator, so cached and uncached runs
+produce byte-identical summaries (and share result-cache fingerprints).
 """
 
 from __future__ import annotations
@@ -46,7 +57,12 @@ from repro.sim.cache import ResultCache, spec_fingerprint
 from repro.sim.metrics import CollectionRecord, SimulationSummary
 from repro.sim.runner import AggregateResult, RunFailure, RunStats
 from repro.sim.simulator import Simulation
-from repro.sim.spec import ExperimentSpec
+from repro.sim.spec import (
+    ExperimentSpec,
+    build_policy,
+    build_selection,
+)
+from repro.workload.trace_cache import TraceCache, trace_fingerprint
 
 
 class RunTimeoutError(Exception):
@@ -77,6 +93,37 @@ class SeedOutcome:
 ProgressCallback = Callable[[SeedOutcome], None]
 
 CacheLike = Union[ResultCache, str, Path, None]
+TraceCacheLike = Union[TraceCache, str, Path, None]
+
+#: Per-worker-process trace cache, installed by :func:`_worker_init` when a
+#: pool is created. Workers resolve each (workload, seed) trace through it:
+#: the in-process memo answers repeats within the worker, the shared on-disk
+#: binaries answer everything the pre-warm pass (or a sibling) compiled.
+_WORKER_TRACE_CACHE: Optional[TraceCache] = None
+
+
+def _worker_init(trace_cache_root: Optional[str]) -> None:
+    """Process-pool initializer: open this worker's trace cache once.
+
+    ``trace_cache_root=None`` still installs a memo-only cache so a warm
+    worker that receives several tasks for the same (workload, seed) skips
+    the rebuild even without an on-disk layer.
+    """
+    global _WORKER_TRACE_CACHE
+    _WORKER_TRACE_CACHE = TraceCache(trace_cache_root)
+
+
+def _worker_simulate(spec, seed, keep_records, timeout):
+    """The unit of work shipped to pool workers (module-level: picklable)."""
+    return _simulate(
+        spec, seed, keep_records, timeout=timeout, trace_cache=_WORKER_TRACE_CACHE
+    )
+
+
+def _worker_warm_trace(workload, seed) -> None:
+    """Pre-warm task: materialise one (workload, seed) compiled trace."""
+    if _WORKER_TRACE_CACHE is not None:
+        _WORKER_TRACE_CACHE.warm(workload, seed)
 
 
 @dataclass
@@ -116,6 +163,12 @@ def _as_cache(cache: CacheLike) -> Optional[ResultCache]:
     return ResultCache(cache)
 
 
+def _as_trace_cache(cache: TraceCacheLike) -> Optional[TraceCache]:
+    if cache is None or isinstance(cache, TraceCache):
+        return cache
+    return TraceCache(cache)
+
+
 def _alarm_handler(signum, frame):
     raise RunTimeoutError("simulation run exceeded run_timeout")
 
@@ -125,12 +178,16 @@ def _simulate(
     seed: int,
     keep_records: bool,
     timeout: Optional[float] = None,
+    trace_cache: Optional[TraceCache] = None,
 ) -> tuple[SimulationSummary, Optional[list[CollectionRecord]], float]:
-    """Execute one (spec, seed) run; the unit of work shipped to workers.
+    """Execute one (spec, seed) run.
 
     ``timeout`` is enforced with ``SIGALRM`` where the platform and calling
     context allow it (POSIX, main thread); elsewhere it degrades to no
-    timeout rather than failing the run.
+    timeout rather than failing the run. With a ``trace_cache`` the
+    workload trace is resolved through the compiled-trace cache (memo /
+    disk / build) instead of re-running the generator; replay is
+    event-identical, so the results don't depend on which path ran.
     """
     started = time.perf_counter()
     restore = None
@@ -141,7 +198,12 @@ def _simulate(
         except ValueError:  # not in the main thread: run without a timeout
             restore = None
     try:
-        policy, trace, selection = spec.resolve(seed)
+        if trace_cache is not None:
+            policy = build_policy(spec.policy, seed)
+            selection = build_selection(spec.selection, seed)
+            trace = trace_cache.get_or_build(spec.workload, seed)
+        else:
+            policy, trace, selection = spec.resolve(seed)
         faults = FaultInjector(spec.faults) if spec.faults is not None else None
         result = Simulation(
             policy=policy, selection=selection, config=spec.sim, faults=faults
@@ -174,6 +236,12 @@ class ParallelRunner:
             spec in the batch that does not already carry one — the CLI's
             ``--faults`` plumbing. Fault plans are part of the cache
             fingerprint, so faulty and fault-free runs never share entries.
+        trace_cache: A :class:`~repro.workload.trace_cache.TraceCache`, a
+            directory path to open one in, or ``None`` to resolve traces
+            the legacy way (regenerated per run). With a cache, each unique
+            (workload, seed) trace in a batch is built once per sweep and
+            replayed everywhere — in-process for serial runs, via pre-warmed
+            on-disk compiled binaries for pooled runs.
     """
 
     def __init__(
@@ -185,6 +253,7 @@ class ParallelRunner:
         retry_backoff: float = 0.5,
         run_timeout: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        trace_cache: TraceCacheLike = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -201,6 +270,7 @@ class ParallelRunner:
         self.retry_backoff = retry_backoff
         self.run_timeout = run_timeout
         self.faults = faults
+        self.trace_cache = _as_trace_cache(trace_cache)
 
     # ------------------------------------------------------------------
     # Entry points
@@ -300,6 +370,14 @@ class ParallelRunner:
 
     def _run_serial(self, specs, tasks, pending, fingerprints, outcomes,
                     keep_records, progress):
+        # Only pass trace_cache when one is configured: the bare call shape
+        # is a compatibility surface (tests and downstream code substitute
+        # 4-argument _simulate doubles).
+        extra = (
+            {"trace_cache": self.trace_cache}
+            if self.trace_cache is not None
+            else {}
+        )
         for index in pending:
             si, seed = tasks[index]
             attempt = 0
@@ -307,7 +385,8 @@ class ParallelRunner:
                 attempt += 1
                 try:
                     summary, records, elapsed = _simulate(
-                        specs[si], seed, keep_records, timeout=self.run_timeout
+                        specs[si], seed, keep_records,
+                        timeout=self.run_timeout, **extra,
                     )
                 except Exception as exc:
                     if attempt <= self.retries:
@@ -320,15 +399,59 @@ class ParallelRunner:
                              elapsed, attempt, fingerprints[index], outcomes)
                 break
 
+    def _warm_traces(self, specs, tasks, pending, pool) -> None:
+        """Materialise each unique (workload, seed) trace once per sweep.
+
+        Fans one build task per cold unique trace over the pool before any
+        simulation is submitted, so no two policy cells ever rebuild the
+        same trace. Build errors are deliberately swallowed here — a
+        genuinely broken workload fails (and is retried / quarantined)
+        through the normal simulation path, with proper accounting.
+        """
+        unique: dict[str, tuple] = {}
+        for index in pending:
+            si, seed = tasks[index]
+            try:
+                key = trace_fingerprint(specs[si].workload, seed)
+            except TypeError:
+                continue  # uncacheable workload: builds per run, as before
+            if key not in unique and key not in self.trace_cache:
+                unique[key] = (specs[si].workload, seed)
+        if not unique:
+            return
+        futures = [
+            pool.submit(_worker_warm_trace, workload, seed)
+            for workload, seed in unique.values()
+        ]
+        for future in futures:
+            try:
+                future.result()
+            except BrokenProcessPool:
+                raise
+            except Exception:
+                pass
+
     def _run_pooled(self, specs, tasks, pending, fingerprints, outcomes,
                     keep_records, workers, progress):
         attempts = {index: 1 for index in pending}
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        trace_root = (
+            str(self.trace_cache.root)
+            if self.trace_cache is not None and self.trace_cache.root is not None
+            else None
+        )
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(trace_root,),
+        ) as pool:
+            if self.trace_cache is not None and self.trace_cache.root is not None:
+                self._warm_traces(specs, tasks, pending, pool)
 
             def submit(index):
                 si, seed = tasks[index]
                 return pool.submit(
-                    _simulate, specs[si], seed, keep_records, self.run_timeout
+                    _worker_simulate, specs[si], seed, keep_records,
+                    self.run_timeout,
                 )
 
             futures = {submit(index): index for index in pending}
@@ -439,6 +562,7 @@ def run_experiment(
     retry_backoff: float = 0.5,
     run_timeout: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
+    trace_cache: TraceCacheLike = None,
 ) -> AggregateResult:
     """Run one experimental setting across seeds, in parallel, with caching.
 
@@ -447,12 +571,14 @@ def run_experiment(
     processes (``jobs``; ``None`` = all cores, ``1`` = in-process) and be
     memoised in ``cache``. ``keep_records=True`` additionally returns each
     run's per-collection records (Figures 6/7 need them). ``retries``,
-    ``run_timeout`` and ``faults`` configure the failure-tolerance layer —
+    ``run_timeout`` and ``faults`` configure the failure-tolerance layer,
+    and ``trace_cache`` memoises compiled workload traces across runs —
     see :class:`ParallelRunner`.
     """
     runner = ParallelRunner(
         jobs=jobs, cache=cache, progress=progress, retries=retries,
         retry_backoff=retry_backoff, run_timeout=run_timeout, faults=faults,
+        trace_cache=trace_cache,
     )
     return runner.run(spec, seeds, keep_records=keep_records)
 
@@ -469,10 +595,12 @@ def run_experiment_batch(
     retry_backoff: float = 0.5,
     run_timeout: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
+    trace_cache: TraceCacheLike = None,
 ) -> list[AggregateResult]:
     """Run several settings over the same seeds in one parallel fan-out."""
     runner = ParallelRunner(
         jobs=jobs, cache=cache, progress=progress, retries=retries,
         retry_backoff=retry_backoff, run_timeout=run_timeout, faults=faults,
+        trace_cache=trace_cache,
     )
     return runner.run_batch(specs, seeds, keep_records=keep_records)

@@ -49,7 +49,7 @@ class CollectionRecord:
         return self.reclaimed_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class RunningMean:
     """Streaming mean/min/max accumulator."""
 
@@ -151,6 +151,13 @@ class Sampler:
         self._gc_io_at_significant = 0
         self.collection_records: list[CollectionRecord] = []
         self.event_series: list[EventSample] = []
+        # Stride countdown: when series are kept, the next sample is due in
+        # this many events (equivalent to ``event_index % stride == 0`` but
+        # without a modulo per event); None when series are disabled, which
+        # makes the hot-path check a single identity test.
+        self._series_countdown: Optional[int] = (
+            series_stride if keep_event_series else None
+        )
 
     # ------------------------------------------------------------------
     # Hooks called by the simulator
@@ -174,17 +181,22 @@ class Sampler:
             self._gc_io_at_significant = iostats.collector_total
             self._garbage.add(garbage_fraction)
 
-        if self.keep_event_series and self.event_index % self.series_stride == 0:
-            self.event_series.append(
-                EventSample(
-                    event_index=self.event_index,
-                    phase=self.phase,
-                    garbage_fraction=garbage_fraction,
-                    collections=self.collections,
-                    app_io=iostats.application_total,
-                    gc_io=iostats.collector_total,
+        countdown = self._series_countdown
+        if countdown is not None:
+            countdown -= 1
+            if countdown == 0:
+                self.event_series.append(
+                    EventSample(
+                        event_index=self.event_index,
+                        phase=self.phase,
+                        garbage_fraction=garbage_fraction,
+                        collections=self.collections,
+                        app_io=iostats.application_total,
+                        gc_io=iostats.collector_total,
+                    )
                 )
-            )
+                countdown = self.series_stride
+            self._series_countdown = countdown
 
     def on_collection(
         self,

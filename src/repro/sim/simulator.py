@@ -46,6 +46,112 @@ from repro.events import (
 from repro.tx.manager import TransactionManager
 
 
+# ----------------------------------------------------------------------
+# Event dispatch (hot path)
+#
+# The replay loop applies one handler per trace event; with tens of
+# thousands of events per run an isinstance chain is measurable. Handlers
+# are keyed by *exact* event class; unknown subclasses resolve through the
+# original isinstance order once and are memoised, so behaviour is
+# unchanged for exotic event hierarchies.
+# ----------------------------------------------------------------------
+
+
+def _h_pointer_write(sim: "Simulation", event, sink) -> None:
+    sink.write_pointer(event.src, event.slot, event.target, dies=event.dies)
+
+
+def _h_create(sim: "Simulation", event, sink) -> None:
+    sink.create(
+        size=event.size,
+        kind=event.kind,
+        pointers=dict(event.pointers),
+        oid=event.oid,
+    )
+
+
+def _h_access(sim: "Simulation", event, sink) -> None:
+    sink.access(event.oid)
+
+
+def _h_update(sim: "Simulation", event, sink) -> None:
+    sink.update(event.oid)
+
+
+def _h_root(sim: "Simulation", event, sink) -> None:
+    sink.register_root(event.oid)
+
+
+def _h_begin(sim: "Simulation", event, sink) -> None:
+    sim.tx.begin(event.txid)
+    sim._tx_start_index = sim._event_index
+
+
+def _h_commit(sim: "Simulation", event, sink) -> None:
+    sim.tx.commit(event.txid)
+
+
+def _h_abort(sim: "Simulation", event, sink) -> None:
+    sim.tx.abort(event.txid)
+
+
+def _h_phase(sim: "Simulation", event, sink) -> None:
+    sim.sampler.on_phase(event.name)
+
+
+def _h_idle(sim: "Simulation", event, sink) -> None:
+    pass  # Quiescence: no store activity.
+
+
+#: Exact-class handler table; extended lazily for subclasses.
+_EVENT_HANDLERS = {
+    PointerWriteEvent: _h_pointer_write,
+    CreateEvent: _h_create,
+    AccessEvent: _h_access,
+    UpdateEvent: _h_update,
+    RootEvent: _h_root,
+    BeginTransactionEvent: _h_begin,
+    CommitTransactionEvent: _h_commit,
+    AbortTransactionEvent: _h_abort,
+    PhaseMarkerEvent: _h_phase,
+    IdleEvent: _h_idle,
+}
+
+#: isinstance resolution order for event subclasses — matches the original
+#: dispatch chain exactly.
+_HANDLER_ORDER = (
+    (PointerWriteEvent, _h_pointer_write),
+    (CreateEvent, _h_create),
+    (AccessEvent, _h_access),
+    (UpdateEvent, _h_update),
+    (RootEvent, _h_root),
+    (BeginTransactionEvent, _h_begin),
+    (CommitTransactionEvent, _h_commit),
+    (AbortTransactionEvent, _h_abort),
+    (PhaseMarkerEvent, _h_phase),
+    (IdleEvent, _h_idle),
+)
+
+
+def _resolve_handler(cls: type):
+    """Memoise the handler for an event subclass (original chain order)."""
+    for base, handler in _HANDLER_ORDER:
+        if issubclass(cls, base):
+            _EVENT_HANDLERS[cls] = handler
+            return handler
+    raise TypeError(f"unknown trace event class {cls!r}")
+
+
+#: Event kinds the run loop special-cases, memoised per class.
+#: 0 = normal database event, 1 = phase marker, 2 = idle.
+_RUN_KINDS = {cls: 0 for cls in _EVENT_HANDLERS}
+_RUN_KINDS[PhaseMarkerEvent] = 1
+_RUN_KINDS[IdleEvent] = 2
+
+#: Per-class memo of "mutates durable logical state" (redo-log auto-commit).
+_MUTATING_MEMO: dict[type, bool] = {}
+
+
 @dataclass
 class SimulationConfig:
     """Knobs of a simulation run.
@@ -158,6 +264,7 @@ class Simulation:
             floor = min((r.txid for r in self.redo_log.records), default=0)
             self._auto_txid = min(self._auto_txid, floor - 1)
         self._trigger: Optional[Trigger] = None
+        self._clock_read = self._clock_app_io
         self._due_at: float = float("inf")
         self._event_index = -1
         self._event_applied = True
@@ -186,28 +293,56 @@ class Simulation:
             trace = itertools.islice(iter(trace), start_index, None)
         self._event_index = start_index - 1
         self._tx_start_index = None
+        # Hot-loop hoists: bound methods and invariant objects looked up
+        # once instead of once per event. Bound lookups still honour
+        # subclass overrides of _apply/_handle_idle/sampler.on_event.
+        apply_event = self._apply
+        handle_idle = self._handle_idle
+        sample_event = self.sampler.on_event
+        store = self.store
+        iostats = store.iostats
+        tx = self.tx
+        clock = self._clock
+        collect = self._collect
+        run_kinds = _RUN_KINDS
+        note_activity = None
+        if type(self)._note_activity is not Simulation._note_activity:
+            note_activity = self._note_activity  # subclass hook
+        elif isinstance(self.policy, OpportunisticPolicy):
+            note_activity = self.policy.note_activity
         try:
-            self._schedule(self.policy.first_trigger(self.store, self.store.iostats))
+            self._schedule(self.policy.first_trigger(store, iostats))
             for event in trace:
                 self._event_index += 1
                 # Tracks whether the current event's application finished;
                 # decides if a crash resumes at this event or the next one.
                 self._event_applied = False
-                self._apply(event)
+                apply_event(event)
                 self._event_applied = True
-                if isinstance(event, PhaseMarkerEvent):
+                cls = event.__class__
+                kind = run_kinds.get(cls)
+                if kind is None:
+                    if isinstance(event, PhaseMarkerEvent):
+                        kind = 1
+                    elif isinstance(event, IdleEvent):
+                        kind = 2
+                    else:
+                        kind = 0
+                    run_kinds[cls] = kind
+                if kind:
+                    if kind == 1:
+                        continue
+                    handle_idle(event.ticks)
                     continue
-                if isinstance(event, IdleEvent):
-                    self._handle_idle(event.ticks)
-                    continue
-                self._note_activity()
-                self.sampler.on_event(self.store, self.store.iostats)
-                if self.tx.in_transaction:
+                if note_activity is not None:
+                    note_activity()
+                sample_event(store, iostats)
+                if tx.in_transaction:
                     # The database is never collected mid-transaction (§3.2's
                     # whole-database-lock model); triggers fire at commit/abort.
                     continue
-                while self._clock() >= self._due_at:
-                    self._collect()
+                while clock() >= self._due_at:
+                    collect()
         except SimulatedCrash as crash:
             crash.event_index = self._event_index
             crash.resume_index = (
@@ -237,49 +372,29 @@ class Simulation:
         # them). Auto-commit txids are negative — they can never collide
         # with trace txids. Logical logging charges no I/O, so results are
         # unchanged.
-        if (
-            self.redo_log is not None
-            and not self.tx.in_transaction
-            and isinstance(event, self._MUTATING)
-        ):
-            txid = self._auto_txid
-            self._auto_txid -= 1
-            self.tx.begin(txid)
-            self._tx_start_index = self._event_index
-            self._dispatch(event, self.tx)
-            self.tx.commit(txid)
-            return
-        self._dispatch(event, self.tx if self.tx.in_transaction else self.store)
+        tx = self.tx
+        if self.redo_log is not None and not tx.in_transaction:
+            cls = event.__class__
+            mutating = _MUTATING_MEMO.get(cls)
+            if mutating is None:
+                mutating = isinstance(event, self._MUTATING)
+                _MUTATING_MEMO[cls] = mutating
+            if mutating:
+                txid = self._auto_txid
+                self._auto_txid -= 1
+                tx.begin(txid)
+                self._tx_start_index = self._event_index
+                self._dispatch(event, tx)
+                tx.commit(txid)
+                return
+        self._dispatch(event, tx if tx.in_transaction else self.store)
 
     def _dispatch(self, event: TraceEvent, sink) -> None:
-        if isinstance(event, PointerWriteEvent):
-            sink.write_pointer(event.src, event.slot, event.target, dies=event.dies)
-        elif isinstance(event, CreateEvent):
-            sink.create(
-                size=event.size,
-                kind=event.kind,
-                pointers=dict(event.pointers),
-                oid=event.oid,
-            )
-        elif isinstance(event, AccessEvent):
-            sink.access(event.oid)
-        elif isinstance(event, UpdateEvent):
-            sink.update(event.oid)
-        elif isinstance(event, RootEvent):
-            sink.register_root(event.oid)
-        elif isinstance(event, BeginTransactionEvent):
-            self.tx.begin(event.txid)
-            self._tx_start_index = self._event_index
-        elif isinstance(event, CommitTransactionEvent):
-            self.tx.commit(event.txid)
-        elif isinstance(event, AbortTransactionEvent):
-            self.tx.abort(event.txid)
-        elif isinstance(event, PhaseMarkerEvent):
-            self.sampler.on_phase(event.name)
-        elif isinstance(event, IdleEvent):
-            pass  # Quiescence: no store activity.
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown trace event {event!r}")
+        cls = event.__class__
+        handler = _EVENT_HANDLERS.get(cls)
+        if handler is None:
+            handler = _resolve_handler(cls)
+        handler(self, event, sink)
 
     # ------------------------------------------------------------------
     # Collection triggering
@@ -288,18 +403,34 @@ class Simulation:
     def _clock(self) -> float:
         if self._trigger is None:
             return 0.0
-        return self._read_clock(self._trigger.base)
+        return self._clock_read()
+
+    def _clock_overwrites(self) -> float:
+        return float(self.store.pointer_overwrites)
+
+    def _clock_allocated(self) -> float:
+        return float(self.store.bytes_allocated_total)
+
+    def _clock_app_io(self) -> float:
+        return float(self.store.iostats.application_total)
+
+    def _clock_reader(self, base: TimeBase):
+        """Bound zero-argument reader for one time base (hot-loop form)."""
+        if base is TimeBase.OVERWRITES:
+            return self._clock_overwrites
+        if base is TimeBase.ALLOCATED:
+            return self._clock_allocated
+        return self._clock_app_io
 
     def _read_clock(self, base: TimeBase) -> float:
-        if base is TimeBase.OVERWRITES:
-            return float(self.store.pointer_overwrites)
-        if base is TimeBase.ALLOCATED:
-            return float(self.store.bytes_allocated_total)
-        return float(self.store.iostats.application_total)
+        return self._clock_reader(base)()
 
     def _schedule(self, trigger: Trigger) -> None:
         self._trigger = trigger
-        self._due_at = self._read_clock(trigger.base) + trigger.interval
+        # Rebinding the reader here keeps _clock() a single indirect call
+        # per event instead of an enum comparison chain.
+        self._clock_read = self._clock_reader(trigger.base)
+        self._due_at = self._clock_read() + trigger.interval
 
     def _collect(self) -> None:
         if self.collector.collections_performed >= self.config.max_collections:

@@ -21,6 +21,7 @@ store through the narrow support API at the bottom of this class.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -456,17 +457,27 @@ class ObjectStore:
         return self.reachable_from(self.roots)
 
     def reachable_from(self, roots: Iterable[ObjectId]) -> set[ObjectId]:
-        """Full-database reachability from an arbitrary root set."""
+        """Full-database reachability from an arbitrary root set.
+
+        Breadth-first over the heap with the object table hoisted into a
+        local — the verification oracles call this over the whole database,
+        so per-edge cost dominates.
+        """
+        objects = self.objects
         seen: set[ObjectId] = set()
-        stack = [oid for oid in roots if oid in self.objects]
-        while stack:
-            oid = stack.pop()
-            if oid in seen:
-                continue
-            seen.add(oid)
-            for target in self.objects[oid].targets():
-                if target not in seen and target in self.objects:
-                    stack.append(target)
+        seen_add = seen.add
+        queue: deque[ObjectId] = deque()
+        queue_append = queue.append
+        for oid in roots:
+            if oid in objects and oid not in seen:
+                seen_add(oid)
+                queue_append(oid)
+        while queue:
+            obj = objects[queue.popleft()]
+            for target in obj.pointers.values():
+                if target is not None and target not in seen and target in objects:
+                    seen_add(target)
+                    queue_append(target)
         return seen
 
     def check_death_annotations(self) -> set[ObjectId]:
@@ -505,8 +516,10 @@ class ObjectStore:
     def _place(self, oid: ObjectId, size: int) -> Placement:
         """First-fit placement; grows the database when nothing fits (§3.1)."""
         self._allocated_bytes += size
+        # First-fit scan with Partition.fits inlined — this is the hottest
+        # loop of database growth (every partition is consulted per create).
         for partition in self.partitions:
-            if partition.fits(size):
+            if size <= partition.capacity - partition.fill:
                 return partition.allocate(oid, size)
         capacity = max(self.config.partition_size, size)
         partition = Partition(pid=len(self.partitions), capacity=capacity)
@@ -515,8 +528,15 @@ class ObjectStore:
         return partition.allocate(oid, size)
 
     def _touch_object_pages(self, oid: ObjectId, category: IOCategory, dirty: bool) -> None:
-        for page in self.pages_of(oid):
-            self.buffer.touch(page, category, dirty=dirty)
+        # Inlined pages_of: one call per touched page matters at trace scale.
+        placement = self._placement(oid)
+        pid = placement.partition
+        page_size = self.config.page_size
+        touch = self.buffer.touch
+        first = placement.offset // page_size
+        last = (placement.offset + placement.size - 1) // page_size
+        for index in range(first, last + 1):
+            touch((pid, index), category, dirty=dirty)
 
     def _remember_edge(self, src: ObjectId, target: ObjectId) -> None:
         src_pid = self.partition_of(src)

@@ -34,11 +34,23 @@ from repro.workload.tracefile import (
     read_trace,
     write_trace,
 )
+from repro.workload.compiled import (
+    TRACE_FORMAT_VERSION,
+    CompiledTrace,
+    CompiledTraceError,
+    compile_trace,
+)
+from repro.workload.trace_cache import TraceCache, TraceCacheStats, trace_fingerprint
 
 __all__ = [
     "AccessEvent",
+    "CompiledTrace",
+    "CompiledTraceError",
     "CreateEvent",
     "IdleEvent",
+    "TRACE_FORMAT_VERSION",
+    "TraceCache",
+    "TraceCacheStats",
     "Oo7Application",
     "PHASE_GENDB",
     "PHASE_ORDER",
@@ -57,6 +69,7 @@ __all__ = [
     "TransactionalWorkload",
     "TraceStats",
     "UpdateEvent",
+    "compile_trace",
     "doc_churn_phase",
     "gen_db_phase",
     "iterate_trace",
@@ -64,6 +77,7 @@ __all__ = [
     "reorg1_phase",
     "reorg2_phase",
     "read_trace",
+    "trace_fingerprint",
     "trace_stats",
     "traverse_phase",
     "write_trace",

@@ -79,45 +79,94 @@ def event_to_record(event: TraceEvent) -> dict:
     raise TraceFormatError(f"cannot serialise event {event!r}")
 
 
+# ----------------------------------------------------------------------
+# Single-pass decoding: one table lookup on the type tag, then one
+# decoder that unpacks every field of that record shape. Decoders raise
+# KeyError/ValueError/TypeError on malformed input; record_to_event and
+# read_trace wrap those into TraceFormatError (read_trace names the
+# offending line number).
+# ----------------------------------------------------------------------
+
+
+def _dec_create(record: dict) -> CreateEvent:
+    return CreateEvent(
+        oid=record["oid"],
+        size=record["size"],
+        kind=ObjectKind(record.get("kind", "generic")),
+        pointers=tuple((slot, target) for slot, target in record.get("ptrs", [])),
+    )
+
+
+def _dec_access(record: dict) -> AccessEvent:
+    return AccessEvent(oid=record["oid"])
+
+
+def _dec_update(record: dict) -> UpdateEvent:
+    return UpdateEvent(oid=record["oid"])
+
+
+def _dec_write(record: dict) -> PointerWriteEvent:
+    return PointerWriteEvent(
+        src=record["src"],
+        slot=record["slot"],
+        target=record["target"],
+        dies=tuple(record.get("dies", [])),
+    )
+
+
+def _dec_root(record: dict) -> RootEvent:
+    return RootEvent(oid=record["oid"])
+
+
+def _dec_phase(record: dict) -> PhaseMarkerEvent:
+    return PhaseMarkerEvent(name=record["name"])
+
+
+def _dec_idle(record: dict) -> IdleEvent:
+    return IdleEvent(ticks=record.get("ticks", 1))
+
+
+def _dec_begin(record: dict) -> BeginTransactionEvent:
+    return BeginTransactionEvent(txid=record["txid"])
+
+
+def _dec_commit(record: dict) -> CommitTransactionEvent:
+    return CommitTransactionEvent(txid=record["txid"])
+
+
+def _dec_abort(record: dict) -> AbortTransactionEvent:
+    return AbortTransactionEvent(txid=record["txid"])
+
+
+_DECODERS = {
+    "create": _dec_create,
+    "access": _dec_access,
+    "update": _dec_update,
+    "write": _dec_write,
+    "root": _dec_root,
+    "phase": _dec_phase,
+    "idle": _dec_idle,
+    "begin": _dec_begin,
+    "commit": _dec_commit,
+    "abort": _dec_abort,
+}
+
+
 def record_to_event(record: dict) -> TraceEvent:
     """Convert one JSON record back to an event."""
     try:
         tag = record["t"]
-        if tag == "create":
-            return CreateEvent(
-                oid=record["oid"],
-                size=record["size"],
-                kind=ObjectKind(record.get("kind", "generic")),
-                pointers=tuple(
-                    (slot, target) for slot, target in record.get("ptrs", [])
-                ),
-            )
-        if tag == "access":
-            return AccessEvent(oid=record["oid"])
-        if tag == "update":
-            return UpdateEvent(oid=record["oid"])
-        if tag == "write":
-            return PointerWriteEvent(
-                src=record["src"],
-                slot=record["slot"],
-                target=record["target"],
-                dies=tuple(record.get("dies", [])),
-            )
-        if tag == "root":
-            return RootEvent(oid=record["oid"])
-        if tag == "phase":
-            return PhaseMarkerEvent(name=record["name"])
-        if tag == "idle":
-            return IdleEvent(ticks=record.get("ticks", 1))
-        if tag == "begin":
-            return BeginTransactionEvent(txid=record["txid"])
-        if tag == "commit":
-            return CommitTransactionEvent(txid=record["txid"])
-        if tag == "abort":
-            return AbortTransactionEvent(txid=record["txid"])
+    except (KeyError, TypeError) as exc:
+        raise TraceFormatError(
+            f"malformed trace record {record!r}: missing type tag 't'"
+        ) from exc
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise TraceFormatError(f"unknown trace record type {tag!r}")
+    try:
+        return decoder(record)
     except (KeyError, ValueError, TypeError) as exc:
         raise TraceFormatError(f"malformed trace record {record!r}: {exc}") from exc
-    raise TraceFormatError(f"unknown trace record type {tag!r}")
 
 
 def write_trace(events: Iterable[TraceEvent], target: Union[str, Path, IO[str]]) -> int:
@@ -139,14 +188,34 @@ def read_trace(source: Union[str, Path, IO[str]]) -> Iterator[TraceEvent]:
         with open(source, "r", encoding="utf-8") as handle:
             yield from read_trace(handle)
             return
+    loads = json.loads
+    decoders = _DECODERS
     for line_number, line in enumerate(source, start=1):
         line = line.strip()
         if not line:
             continue
         try:
-            record = json.loads(line)
+            record = loads(line)
         except json.JSONDecodeError as exc:
             raise TraceFormatError(
                 f"line {line_number}: invalid JSON: {exc}"
             ) from exc
-        yield record_to_event(record)
+        # Inline single-pass decode so every failure names its line.
+        try:
+            tag = record["t"]
+        except (KeyError, TypeError) as exc:
+            raise TraceFormatError(
+                f"line {line_number}: malformed trace record {record!r}: "
+                f"missing type tag 't'"
+            ) from exc
+        decoder = decoders.get(tag)
+        if decoder is None:
+            raise TraceFormatError(
+                f"line {line_number}: unknown trace record type {tag!r}"
+            )
+        try:
+            yield decoder(record)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise TraceFormatError(
+                f"line {line_number}: malformed trace record {record!r}: {exc}"
+            ) from exc

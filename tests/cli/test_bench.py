@@ -1,0 +1,92 @@
+"""The bench harness: suite output shape, regression gate, CLI entry."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_FORMAT,
+    GATED_METRICS,
+    check_regression,
+    main as bench_main,
+    run_suite,
+)
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def quick_doc():
+    return run_suite(quick=True, repeats=1)
+
+
+def test_suite_document_shape(quick_doc):
+    assert quick_doc["format"] == BENCH_FORMAT
+    assert quick_doc["scale"] == "quick"
+    for name in (
+        "figure1_cell",
+        "traverse_replay",
+        "trace_compile_load",
+        "sweep_trace_cache",
+    ):
+        assert name in quick_doc["results"], name
+    assert quick_doc["results"]["figure1_cell"]["events_per_s"] > 0
+    assert quick_doc["results"]["traverse_replay"]["events_per_s"] > 0
+    assert quick_doc["results"]["trace_compile_load"]["load_s"] >= 0
+    # Sweeping 3 specs over 1 seed shares one trace: a single build.
+    assert quick_doc["results"]["sweep_trace_cache"]["trace_builds"] == 1
+
+
+def test_compiled_load_beats_rebuild(quick_doc):
+    tcl = quick_doc["results"]["trace_compile_load"]
+    assert tcl["load_s"] < tcl["rebuild_s"]
+
+
+def test_regression_gate(quick_doc):
+    # Identical runs never regress.
+    assert check_regression(quick_doc, quick_doc, 0.30) == []
+
+    # A big drop in any gated metric trips the gate.
+    slow = json.loads(json.dumps(quick_doc))
+    metric = GATED_METRICS[0]
+    section, field = metric.split(".")
+    slow["results"][section][field] = quick_doc["results"][section][field] * 10
+    problems = check_regression(quick_doc, slow, 0.30)
+    assert len(problems) == 1
+    assert metric in problems[0]
+
+    # Mismatched scales are not comparable.
+    standard = dict(quick_doc, scale="standard")
+    problems = check_regression(quick_doc, standard, 0.30)
+    assert problems and "scale" in problems[0]
+
+
+def test_bench_main_writes_json_and_gates(tmp_path, quick_doc):
+    out = tmp_path / "BENCH_test.json"
+    assert bench_main(["--quick", "--repeats", "1", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["format"] == BENCH_FORMAT
+
+    # Gate against itself: passes.
+    out2 = tmp_path / "BENCH_test2.json"
+    code = bench_main(
+        ["--quick", "--repeats", "1", "--out", str(out2), "--baseline", str(out)]
+    )
+    assert code == 0
+
+    # Gate against an impossible baseline: fails.
+    impossible = json.loads(json.dumps(doc))
+    for metric in GATED_METRICS:
+        section, field = metric.split(".")
+        impossible["results"][section][field] = 10**12
+    baseline = tmp_path / "impossible.json"
+    baseline.write_text(json.dumps(impossible))
+    code = bench_main(
+        ["--quick", "--repeats", "1", "--out", str(out2), "--baseline", str(baseline)]
+    )
+    assert code == 1
+
+
+def test_cli_dispatches_bench_subcommand(tmp_path):
+    out = tmp_path / "BENCH_cli.json"
+    assert cli_main(["bench", "--quick", "--repeats", "1", "--out", str(out)]) == 0
+    assert out.exists()

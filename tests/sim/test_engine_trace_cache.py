@@ -1,0 +1,88 @@
+"""Engine + trace cache: once-per-sweep builds, identical results at any jobs."""
+
+import pytest
+
+from repro.oo7.config import TINY
+from repro.sim.engine import run_experiment_batch
+from repro.sim.simulator import SimulationConfig
+from repro.sim.spec import ExperimentSpec, PolicySpec, WorkloadSpec
+from repro.storage.heap import StoreConfig
+from repro.workload.trace_cache import TraceCache
+
+TINY_STORE = StoreConfig(page_size=2048, partition_pages=4, buffer_pages=4)
+SIM = SimulationConfig(store=TINY_STORE, preamble_collections=0)
+
+
+def specs(rates=(40, 80, 160)):
+    return [
+        ExperimentSpec(
+            policy=PolicySpec("fixed", {"overwrites_per_collection": rate}),
+            workload=WorkloadSpec("oo7", {"config": TINY}),
+            sim=SIM,
+            label=f"tc@{rate}",
+        )
+        for rate in rates
+    ]
+
+
+def summaries(aggregates):
+    return [s for agg in aggregates for s in agg.summaries]
+
+
+def test_trace_cache_results_identical_serial(tmp_path):
+    reference = run_experiment_batch(specs(), seeds=[0, 1], jobs=1)
+    cache = TraceCache(tmp_path)
+    cached = run_experiment_batch(specs(), seeds=[0, 1], jobs=1, trace_cache=cache)
+    assert summaries(cached) == summaries(reference)
+    # 3 specs x 2 seeds share 2 unique traces: 2 builds, 4 memo/disk hits.
+    assert cache.stats.builds == 2
+    assert cache.stats.memo_hits + cache.stats.disk_hits == 4
+
+
+def test_trace_cache_results_identical_parallel(tmp_path):
+    reference = run_experiment_batch(specs(), seeds=[0, 1], jobs=1)
+    cache = TraceCache(tmp_path)
+    parallel = run_experiment_batch(
+        specs(), seeds=[0, 1], jobs=2, trace_cache=cache
+    )
+    assert summaries(parallel) == summaries(reference)
+    # The prewarm pass materialised every unique trace on disk.
+    assert len(cache) == 2
+
+
+def test_memo_only_trace_cache_identical(tmp_path):
+    reference = run_experiment_batch(specs(), seeds=[0], jobs=1)
+    memo = run_experiment_batch(
+        specs(), seeds=[0], jobs=1, trace_cache=TraceCache(None)
+    )
+    assert summaries(memo) == summaries(reference)
+
+
+def test_trace_cache_as_path(tmp_path):
+    reference = run_experiment_batch(specs(), seeds=[0], jobs=1)
+    from_path = run_experiment_batch(
+        specs(), seeds=[0], jobs=1, trace_cache=str(tmp_path)
+    )
+    assert summaries(from_path) == summaries(reference)
+    assert len(TraceCache(tmp_path)) == 1
+
+
+def test_result_cache_fingerprints_unchanged_by_trace_cache(tmp_path):
+    """A result cached without the trace cache must hit with it enabled."""
+    from repro.sim.cache import ResultCache
+
+    result_cache = ResultCache(tmp_path / "results")
+    first = run_experiment_batch(specs(), seeds=[0], jobs=1, cache=result_cache)
+
+    outcomes = []
+    again = run_experiment_batch(
+        specs(),
+        seeds=[0],
+        jobs=1,
+        cache=result_cache,
+        trace_cache=TraceCache(tmp_path / "traces"),
+        progress=outcomes.append,
+    )
+    assert summaries(again) == summaries(first)
+    assert len(outcomes) == 3
+    assert all(outcome.cached for outcome in outcomes)

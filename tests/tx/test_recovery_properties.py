@@ -8,6 +8,7 @@ partially applied transaction.
 """
 
 import dataclasses
+import itertools
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -49,7 +50,10 @@ def _execute(history, rng_choices):
     manager = TransactionManager(store, redo_log=log)
     snapshots = [(0, _committed_view(store))]
     durable: list = []  # survives commits only — aborts roll creates back
-    pick = iter(rng_choices)
+    # A maximal history needs more picks than the strategy draws (up to
+    # 8 tx × 6 ops × 2 picks); cycling keeps execution deterministic
+    # without ever exhausting the sequence.
+    pick = itertools.cycle(rng_choices)
 
     def choose(seq):
         return seq[next(pick) % len(seq)]

@@ -1,0 +1,113 @@
+"""TraceCache: content addressing, layering, and corruption handling."""
+
+import pytest
+
+from repro.events import AccessEvent, CreateEvent
+from repro.oo7.config import TINY
+from repro.sim.spec import WorkloadSpec, build_workload
+from repro.workload.compiled import compile_trace
+from repro.workload.trace_cache import TraceCache, trace_fingerprint
+
+WL = WorkloadSpec("oo7", {"config": TINY})
+
+
+def test_fingerprint_is_stable_and_sensitive():
+    assert trace_fingerprint(WL, 0) == trace_fingerprint(WL, 0)
+    assert trace_fingerprint(WL, 0) != trace_fingerprint(WL, 1)
+    other = WorkloadSpec("oo7", {"config": TINY, "phases": ("gendb",)})
+    assert trace_fingerprint(WL, 0) != trace_fingerprint(other, 0)
+
+
+def test_get_or_build_builds_once_then_hits(tmp_path):
+    cache = TraceCache(tmp_path)
+    events = list(build_workload(WL, 0))
+
+    first = cache.get_or_build(WL, 0)
+    assert cache.stats.builds == 1
+    assert list(first) == events
+
+    again = cache.get_or_build(WL, 0)
+    assert again is first  # in-process memo
+    assert cache.stats.memo_hits == 1
+    assert cache.stats.builds == 1
+
+    # A fresh instance over the same directory loads from disk.
+    fresh = TraceCache(tmp_path)
+    loaded = cache_trace = fresh.get_or_build(WL, 0)
+    assert fresh.stats.disk_hits == 1
+    assert fresh.stats.builds == 0
+    assert list(cache_trace) == events
+    assert loaded is not first
+
+
+def test_warm_reports_cold_vs_hot(tmp_path):
+    cache = TraceCache(tmp_path)
+    assert cache.warm(WL, 0) is True
+    assert cache.warm(WL, 0) is False
+    assert TraceCache(tmp_path).warm(WL, 0) is False
+
+
+def test_memo_only_cache_writes_nothing(tmp_path):
+    cache = TraceCache(None)
+    cache.get_or_build(WL, 0, builder=lambda: [AccessEvent(oid=1)])
+    assert cache.stats.builds == 1
+    cache.get_or_build(WL, 0, builder=lambda: [AccessEvent(oid=1)])
+    assert cache.stats.memo_hits == 1
+    assert len(cache) == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_corrupt_entry_quarantined_and_rebuilt(tmp_path):
+    cache = TraceCache(tmp_path)
+    key = trace_fingerprint(WL, 0)
+    events = [CreateEvent(oid=1, size=16), AccessEvent(oid=1)]
+    cache.put(key, compile_trace(events))
+    path = cache._path(key)
+    path.write_bytes(b"garbage" * 10)
+
+    fresh = TraceCache(tmp_path)
+    rebuilt = fresh.get_or_build(WL, 0, builder=lambda: events)
+    assert fresh.stats.quarantined == 1
+    assert fresh.stats.builds == 1
+    assert list(rebuilt) == events
+    quarantined = list((tmp_path / "quarantine").iterdir())
+    assert len(quarantined) == 1
+    assert quarantined[0].name.endswith(".corrupt")
+
+
+def test_uncacheable_workload_bypasses_cache(tmp_path):
+    cache = TraceCache(tmp_path)
+    weird = WorkloadSpec("oo7", {"config": TINY, "junk": object()})
+    events = [AccessEvent(oid=7)]
+    trace = cache.get_or_build(weird, 0, builder=lambda: events)
+    assert list(trace) == events
+    assert cache.stats.uncacheable == 1
+    assert len(cache) == 0
+
+
+def test_memo_eviction_is_bounded(tmp_path):
+    cache = TraceCache(tmp_path, memo_traces=2)
+    for seed in range(4):
+        cache.get_or_build(WL, seed, builder=lambda: [AccessEvent(oid=1)])
+    assert len(cache._memo) == 2
+    assert len(cache) == 4  # every build still landed on disk
+
+
+def test_clear_removes_entries(tmp_path):
+    cache = TraceCache(tmp_path)
+    cache.get_or_build(WL, 0, builder=lambda: [AccessEvent(oid=1)])
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    # And the next resolution rebuilds.
+    cache.get_or_build(WL, 0, builder=lambda: [AccessEvent(oid=1)])
+    assert cache.stats.builds == 2
+
+
+def test_hit_rate():
+    cache = TraceCache(None)
+    assert cache.stats.hit_rate == 0.0
+    cache.get_or_build(WL, 0, builder=lambda: [])
+    cache.get_or_build(WL, 0, builder=lambda: [])
+    cache.get_or_build(WL, 0, builder=lambda: [])
+    assert cache.stats.hit_rate == pytest.approx(2 / 3)
