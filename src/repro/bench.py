@@ -29,8 +29,16 @@ gate: the process exits 1 when any events/second metric drops more than
 the threshold against the baseline (CI compares against the number
 recorded in the repo).
 
-``--profile`` on the experiment runner (``python -m repro <experiment>
---profile``) complements this with per-function cProfile output.
+``--telemetry DIR`` additionally writes JSON-lines telemetry: one
+``kind="bench"`` file per suite case (phase spans, per-collection GC
+timelines for the simulating cases) plus a ``bench_suite.jsonl`` with the
+headline numbers as gauges — inspect with ``python -m repro metrics DIR``.
+The timed regions stay untelemetered, so the gated events/s numbers are
+unaffected; the telemetered replay is one extra untimed run.
+
+``--profile`` wraps the suite in cProfile and prints the hottest
+functions; given together with ``--telemetry`` (and no explicit stats
+file) the pstats dump lands in ``DIR/bench_profile.pstats``.
 """
 
 from __future__ import annotations
@@ -86,7 +94,7 @@ def _cell_spec(config, rate: float = 200.0, label: str = "bench"):
     )
 
 
-def _new_simulation(spec, seed: int):
+def _new_simulation(spec, seed: int, obs=None):
     from repro.sim.simulator import Simulation
     from repro.sim.spec import build_policy, build_selection
 
@@ -94,10 +102,28 @@ def _new_simulation(spec, seed: int):
         policy=build_policy(spec.policy, seed),
         selection=build_selection(spec.selection, seed),
         config=spec.sim,
+        obs=obs,
     )
 
 
-def bench_figure1_cell(quick: bool, repeats: int) -> dict:
+def _telemetered_replay(telemetry, name: str, spec, events) -> None:
+    """One extra, untimed, fully observed replay for ``--telemetry`` runs.
+
+    Kept outside the timed regions so the gated events/s numbers never pay
+    for observability.
+    """
+    from repro.obs.telemetry import RunTelemetry
+
+    tel = RunTelemetry(
+        Path(telemetry) / f"bench_{name}.jsonl", kind="bench", label=name, seed=0
+    )
+    sim = _new_simulation(spec, 0, obs=tel)
+    with tel.span("replay", events=len(events)):
+        sim.run(events)
+    tel.close()
+
+
+def bench_figure1_cell(quick: bool, repeats: int, telemetry=None) -> dict:
     """One Figure 1 cell end-to-end: trace build + policy replay."""
     from repro.sim.spec import build_workload
 
@@ -106,18 +132,20 @@ def bench_figure1_cell(quick: bool, repeats: int) -> dict:
     def cell():
         events = list(build_workload(spec.workload, 0))
         result = _new_simulation(spec, 0).run(events)
-        return len(events), result.summary.collections
+        return events, result.summary.collections
 
     wall, (events, collections) = _best_of(repeats, cell)
+    if telemetry is not None:
+        _telemetered_replay(telemetry, "figure1_cell", spec, events)
     return {
         "wall_s": round(wall, 4),
-        "events": events,
+        "events": len(events),
         "collections": collections,
-        "events_per_s": round(events / wall, 1),
+        "events_per_s": round(len(events) / wall, 1),
     }
 
 
-def bench_traverse_replay(quick: bool, repeats: int) -> dict:
+def bench_traverse_replay(quick: bool, repeats: int, telemetry=None) -> dict:
     """Replay throughput over a prebuilt trace — the inner-loop number.
 
     The trace is built once outside the timed region; a sparse fixed rate
@@ -132,6 +160,8 @@ def bench_traverse_replay(quick: bool, repeats: int) -> dict:
         return _new_simulation(spec, 0).run(events).summary.collections
 
     wall, collections = _best_of(repeats, replay)
+    if telemetry is not None:
+        _telemetered_replay(telemetry, "traverse_replay", spec, events)
     return {
         "wall_s": round(wall, 4),
         "events": len(events),
@@ -140,7 +170,7 @@ def bench_traverse_replay(quick: bool, repeats: int) -> dict:
     }
 
 
-def bench_trace_compile_load(quick: bool, repeats: int) -> dict:
+def bench_trace_compile_load(quick: bool, repeats: int, telemetry=None) -> dict:
     """Workload rebuild vs compile vs binary save/load."""
     from repro.sim.spec import build_workload
     from repro.workload.compiled import CompiledTrace, compile_trace
@@ -157,6 +187,19 @@ def bench_trace_compile_load(quick: bool, repeats: int) -> dict:
         load_s, loaded = _best_of(repeats, lambda: CompiledTrace.load(path))
         file_bytes = path.stat().st_size
     assert len(loaded) == len(events)
+    if telemetry is not None:
+        from repro.obs.telemetry import RunTelemetry
+
+        tel = RunTelemetry(
+            Path(telemetry) / "bench_trace_compile_load.jsonl",
+            kind="bench",
+            label="trace_compile_load",
+        )
+        tel.tracer.record("rebuild", rebuild_s, events=len(events))
+        tel.tracer.record("compile", compile_s)
+        tel.tracer.record("save", save_s)
+        tel.tracer.record("load", load_s, file_bytes=file_bytes)
+        tel.close()
     return {
         "events": len(events),
         "rebuild_s": round(rebuild_s, 4),
@@ -170,7 +213,7 @@ def bench_trace_compile_load(quick: bool, repeats: int) -> dict:
     }
 
 
-def bench_sweep_trace_cache(quick: bool, repeats: int) -> dict:
+def bench_sweep_trace_cache(quick: bool, repeats: int, telemetry=None) -> dict:
     """A small sweep through the trace cache: builds once, hits the rest."""
     from repro.sim.engine import run_experiment_batch
     from repro.workload.trace_cache import TraceCache
@@ -187,6 +230,12 @@ def bench_sweep_trace_cache(quick: bool, repeats: int) -> dict:
             return cache.stats
 
         wall, stats = _best_of(repeats, sweep)
+        if telemetry is not None:
+            # One extra, untimed sweep with engine telemetry on: exercises
+            # the engine-level file plus one per-run file per cell.
+            run_experiment_batch(
+                specs, seeds=seeds, jobs=1, trace_cache=cache, telemetry=telemetry
+            )
     return {
         "wall_s": round(wall, 4),
         "runs": len(specs) * len(seeds),
@@ -205,12 +254,38 @@ SUITE = (
 )
 
 
-def run_suite(quick: bool = False, repeats: int = 2) -> dict:
-    """Run every benchmark; return the BENCH_*.json document."""
+def run_suite(quick: bool = False, repeats: int = 2, telemetry=None) -> dict:
+    """Run every benchmark; return the BENCH_*.json document.
+
+    ``telemetry`` names a directory: each suite case then writes a
+    ``kind="bench"`` JSON-lines file, and a ``bench_suite.jsonl`` carries
+    one span per case plus the headline numbers as gauges.
+    """
+    suite_tel = None
+    if telemetry is not None:
+        from repro.obs.telemetry import RunTelemetry
+
+        suite_tel = RunTelemetry(
+            Path(telemetry) / "bench_suite.jsonl",
+            kind="bench",
+            label="suite",
+            scale="quick" if quick else "standard",
+            repeats=repeats,
+        )
     results = {}
     for name, fn in SUITE:
         print(f"[bench] {name} ...", file=sys.stderr)
-        results[name] = fn(quick, repeats)
+        if suite_tel is not None:
+            with suite_tel.span(name):
+                results[name] = fn(quick, repeats, telemetry)
+        else:
+            results[name] = fn(quick, repeats)
+    if suite_tel is not None:
+        for name, payload in results.items():
+            for key, value in payload.items():
+                if isinstance(value, (int, float)) and value != float("inf"):
+                    suite_tel.metrics.gauge(f"bench.{name}.{key}").set(value)
+        suite_tel.close()
     return {
         "format": BENCH_FORMAT,
         "date": datetime.date.today().isoformat(),
@@ -323,13 +398,50 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FRACTION",
         help="allowed events/s drop vs baseline before exiting 1 (default 0.30)",
     )
+    parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "write JSON-lines telemetry per suite case into DIR (untimed "
+            "extra runs; the gated numbers are unaffected); inspect with "
+            "'python -m repro metrics DIR'"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="STATS_FILE",
+        help=(
+            "profile the suite with cProfile; dump pstats to STATS_FILE, or "
+            "to DIR/bench_profile.pstats when --telemetry DIR is also given"
+        ),
+    )
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 2)
-    doc = run_suite(quick=args.quick, repeats=repeats)
+
+    if args.profile is not None:
+        from repro.cli import _profiled
+
+        stats_file = args.profile
+        if not stats_file and args.telemetry is not None:
+            args.telemetry.mkdir(parents=True, exist_ok=True)
+            stats_file = str(args.telemetry / "bench_profile.pstats")
+        doc = _profiled(
+            lambda: run_suite(
+                quick=args.quick, repeats=repeats, telemetry=args.telemetry
+            ),
+            stats_file,
+        )
+    else:
+        doc = run_suite(quick=args.quick, repeats=repeats, telemetry=args.telemetry)
 
     out = args.out
     if out is None:
@@ -339,6 +451,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(_format_report(doc))
     print(f"[written to {out}]", file=sys.stderr)
+    if args.telemetry is not None:
+        print(
+            f"[telemetry in {args.telemetry}; inspect with "
+            f"'python -m repro metrics {args.telemetry}']",
+            file=sys.stderr,
+        )
 
     if args.baseline is not None:
         baseline = json.loads(args.baseline.read_text())

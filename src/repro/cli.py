@@ -35,6 +35,12 @@ exponential backoff, ``--run-timeout S`` bounds each run's wall clock, and
 :class:`~repro.faults.plan.FaultPlan` into every run. Runs that still fail
 are quarantined into the per-setting statistics (the batch always
 completes with partial results).
+
+Observability: ``--telemetry DIR`` writes one JSON-lines telemetry file
+per simulated run (per-collection GC timeline, metrics snapshot, phase
+spans) plus one engine-level file per batch; ``python -m repro metrics
+DIR`` pretty-prints and aggregates them. Telemetry only observes — results
+and cache fingerprints are identical with it on or off.
 """
 
 from __future__ import annotations
@@ -215,6 +221,17 @@ def _build_parser() -> argparse.ArgumentParser:
         help="inject the deterministic FaultPlan in this JSON file into every run",
     )
     parser.add_argument(
+        "--telemetry",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "write JSON-lines telemetry (per-run GC timelines, metrics, "
+            "spans) into this directory; inspect with 'python -m repro "
+            "metrics DIR'. Telemetry never changes results."
+        ),
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -298,6 +315,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.bench import main as bench_main
 
         return bench_main(raw[1:])
+    if raw and raw[0] == "metrics":
+        from repro.obs.report import main as metrics_main
+
+        return metrics_main(raw[1:])
 
     args = _build_parser().parse_args(raw)
 
@@ -320,6 +341,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             run_timeout=args.run_timeout,
             faults=faults,
             trace_cache=trace_cache,
+            telemetry=args.telemetry,
         )
         if args.profile is not None:
             report = _profiled(
@@ -337,6 +359,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if target is not None:
             target.write_text(report)
             print(f"[written to {target}]", file=sys.stderr)
+    if args.telemetry is not None:
+        print(
+            f"[telemetry in {args.telemetry}; inspect with "
+            f"'python -m repro metrics {args.telemetry}']",
+            file=sys.stderr,
+        )
     return 0
 
 

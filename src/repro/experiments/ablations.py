@@ -116,7 +116,7 @@ def format_fixed_heuristic(result: FixedHeuristicResult) -> str:
         f"heuristic predicts {result.heuristic_gpo_prediction:.0f} B of garbage per "
         f"overwrite; the application actually creates {result.measured_gpo:.0f} B "
         f"per overwrite — {factor:.1f}x more (paper: ~5x), because single "
-        f"overwrites detach whole connected structures."
+        "overwrites detach whole connected structures."
     )
     return f"{table}\n\n{note}"
 

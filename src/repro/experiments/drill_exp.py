@@ -59,13 +59,24 @@ class DrillResult:
         return all(r.matches_reference for r in self.reports.values())
 
 
-def run_drill(seeds=None, plan: FaultPlan | None = None) -> DrillResult:
+def run_drill(
+    seeds=None, plan: FaultPlan | None = None, telemetry=None
+) -> DrillResult:
+    """Run the drill over ``seeds``; ``telemetry`` names a directory for
+    one ``kind="drill"`` JSON-lines telemetry file per seed."""
     seeds = list(seeds) if seeds is not None else default_seeds()
     plan = plan if plan is not None else DEFAULT_PLAN
     spec = drill_spec()
-    reports = {
-        seed: run_crash_recovery_drill(spec, seed, plan=plan) for seed in seeds
-    }
+    reports = {}
+    for index, seed in enumerate(seeds):
+        tel_path = None
+        if telemetry is not None:
+            from repro.obs.telemetry import run_telemetry_path
+
+            tel_path = run_telemetry_path(telemetry, index, "drill", seed)
+        reports[seed] = run_crash_recovery_drill(
+            spec, seed, plan=plan, telemetry=tel_path
+        )
     return DrillResult(reports=reports, plan=plan, seeds=seeds)
 
 

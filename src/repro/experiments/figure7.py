@@ -173,8 +173,8 @@ def format_figure7(result: Figure7Result) -> str:
     settled = reference.intervals[len(reference.intervals) // 3 :]
     if settled:
         sections.append(
-            f"settled collection rate (h=0.8): one collection per "
+            "settled collection rate (h=0.8): one collection per "
             f"{sum(settled) / len(settled):.0f} overwrites "
-            f"(paper: ~200 overwrites after the cold-start transient)"
+            "(paper: ~200 overwrites after the cold-start transient)"
         )
     return "\n\n".join(sections)

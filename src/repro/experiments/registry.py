@@ -16,7 +16,8 @@ Downstream code can add experiments with the :func:`experiment` decorator
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 from repro.faults.plan import FaultPlan
 from repro.sim.engine import CacheLike, ProgressCallback, TraceCacheLike
@@ -35,7 +36,10 @@ class RunOptions:
     ``run_timeout`` configure the engine's failure-tolerance layer, and
     ``faults`` composes a deterministic
     :class:`~repro.faults.plan.FaultPlan` onto every run (the CLI's
-    ``--retries`` / ``--run-timeout`` / ``--faults`` flags).
+    ``--retries`` / ``--run-timeout`` / ``--faults`` flags). ``telemetry``
+    names a directory for per-run JSON-lines observability files (the
+    CLI's ``--telemetry``; see :mod:`repro.obs`) — ``None`` disables the
+    observability layer entirely.
     """
 
     jobs: Optional[int] = 1
@@ -45,6 +49,7 @@ class RunOptions:
     run_timeout: Optional[float] = None
     faults: Optional[FaultPlan] = None
     trace_cache: TraceCacheLike = None
+    telemetry: Union[str, Path, None] = None
 
     def engine_kwargs(self) -> dict:
         """Keyword arguments every spec-engine driver accepts."""
@@ -56,6 +61,7 @@ class RunOptions:
             "run_timeout": self.run_timeout,
             "faults": self.faults,
             "trace_cache": self.trace_cache,
+            "telemetry": self.telemetry,
         }
 
 
@@ -188,7 +194,9 @@ def _figure8(seeds, options: RunOptions) -> str:
 def _drill(seeds, options: RunOptions) -> str:
     from repro.experiments.drill_exp import format_drill, run_drill
 
-    return format_drill(run_drill(seeds=seeds, plan=options.faults))
+    return format_drill(
+        run_drill(seeds=seeds, plan=options.faults, telemetry=options.telemetry)
+    )
 
 
 @experiment(

@@ -97,6 +97,7 @@ def run_crash_recovery_drill(
     seed: int,
     plan: FaultPlan | None = None,
     max_crashes: int = 16,
+    telemetry=None,
 ) -> DrillReport:
     """Run one crash–recover–continue drill and report the outcome.
 
@@ -111,6 +112,13 @@ def run_crash_recovery_drill(
             report's digests prove it).
         max_crashes: Safety valve against a plan that crashes forever
             (e.g. ``repeat=True`` with a tiny period).
+        telemetry: A :class:`~repro.obs.telemetry.RunTelemetry` to record
+            into, or a path to write a ``kind="drill"`` telemetry file to,
+            or ``None``. One telemetry object observes the whole drill —
+            its records buffer in this (real) process, so they survive the
+            simulated crashes. A path given here is written even though the
+            drilled simulation "crashes" mid-run; telemetry never changes
+            drill outcomes.
 
     Raises:
         ValueError: When no plan is given at all.
@@ -126,10 +134,26 @@ def run_crash_recovery_drill(
     if plan is None:
         raise ValueError("a crash-recovery drill needs a FaultPlan (spec.faults or plan=)")
 
+    obs = None
+    owns_obs = False
+    if telemetry is not None:
+        from repro.obs.telemetry import RunTelemetry
+
+        if isinstance(telemetry, RunTelemetry):
+            obs = telemetry
+        else:
+            obs = RunTelemetry(
+                telemetry,
+                kind="drill",
+                label=spec.label or spec.policy.kind,
+                seed=seed,
+            )
+            owns_obs = True
+
     config = dataclasses.replace(spec.sim, enable_redo_log=True)
     events = list(build_workload(spec.workload, seed))
 
-    def fresh(store=None, faults=None, redo_log=None) -> Simulation:
+    def fresh(store=None, faults=None, redo_log=None, observed=False) -> Simulation:
         policy, _, selection = spec.resolve(seed)
         return Simulation(
             policy=policy,
@@ -138,27 +162,44 @@ def run_crash_recovery_drill(
             faults=faults,
             store=store,
             redo_log=redo_log,
+            obs=obs if observed else None,
         )
 
     # Reference: same trace, same config (redo logging on, so costs match),
-    # no faults.
+    # no faults. Unobserved — only the drilled run's GC timeline is
+    # recorded, so the telemetry file describes one coherent run.
     reference = fresh()
-    reference.run(events)
+    if obs is not None:
+        with obs.span("reference"):
+            reference.run(events)
+    else:
+        reference.run(events)
     report = DrillReport(crashes=0, reference_digest=state_digest(reference.store))
 
     # Drilled run: one injector for the whole drill, so occurrence counters
     # survive crashes and single-shot faults fire exactly once.
     injector = FaultInjector(plan)
     log = RedoLog()
-    sim = fresh(faults=injector, redo_log=log)
+    sim = fresh(faults=injector, redo_log=log, observed=True)
     start = 0
     while True:
         try:
-            sim.run(events, start_index=start)
+            if obs is not None:
+                with obs.span("drill_segment", start_index=start):
+                    sim.run(events, start_index=start)
+            else:
+                sim.run(events, start_index=start)
             break
         except SimulatedCrash as crash:
             report.crashes += 1
             report.crash_sites.append(crash.site)
+            if obs is not None:
+                obs.event(
+                    "crash",
+                    site=crash.site,
+                    event_index=crash.event_index,
+                    resume_index=crash.resume_index,
+                )
             if report.crashes > max_crashes:
                 raise RuntimeError(
                     f"drill exceeded max_crashes={max_crashes}; plan {plan} "
@@ -172,8 +213,24 @@ def run_crash_recovery_drill(
             report.recovered_objects.append(len(recovered.objects))
             start = crash.resume_index
             report.resume_indices.append(start)
-            sim = fresh(store=recovered, faults=injector, redo_log=log)
+            if obs is not None:
+                obs.event(
+                    "recovered",
+                    objects=len(recovered.objects),
+                    resume_index=start,
+                )
+                obs.metrics.counter("drill.recoveries").inc()
+            sim = fresh(store=recovered, faults=injector, redo_log=log, observed=True)
 
     report.final_digest = state_digest(sim.store)
     report.fired = [(f.site, f.occurrence, f.effect) for f in injector.fired]
+    if obs is not None:
+        obs.metrics.gauge("drill.crashes").set(report.crashes)
+        obs.event(
+            "drill_complete",
+            crashes=report.crashes,
+            matches_reference=report.matches_reference,
+        )
+        if owns_obs:
+            obs.close()
     return report

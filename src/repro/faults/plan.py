@@ -29,7 +29,7 @@ lost, which recovery from the logical redo log must tolerate.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Union
 

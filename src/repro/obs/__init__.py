@@ -1,0 +1,55 @@
+"""Observability layer: metrics registry, span tracing, run telemetry.
+
+The substrate every future adaptive-policy and scaling PR reads from:
+
+* :mod:`repro.obs.registry` — counters / gauges / histograms with a no-op
+  fast path when disabled;
+* :mod:`repro.obs.spans` — span-based wall-time tracing of run phases;
+* :mod:`repro.obs.telemetry` — one JSON-lines telemetry file per run,
+  including the per-collection GC timeline;
+* :mod:`repro.obs.report` — the ``python -m repro metrics`` reader.
+
+Attach points: ``Simulation(obs=...)``, the engine's ``telemetry=`` option
+(``--telemetry DIR`` on the CLI), and ``python -m repro bench --telemetry``.
+Telemetry never changes simulation results — see the determinism contract
+in :mod:`repro.obs.telemetry`.
+"""
+
+from repro.obs.registry import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    metrics_or_null,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, SpanRecord, Tracer
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    RunTelemetry,
+    TelemetryError,
+    iter_telemetry_files,
+    load_telemetry,
+    run_telemetry_path,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "RunTelemetry",
+    "SpanRecord",
+    "TELEMETRY_FORMAT",
+    "TelemetryError",
+    "Tracer",
+    "iter_telemetry_files",
+    "load_telemetry",
+    "metrics_or_null",
+    "run_telemetry_path",
+]

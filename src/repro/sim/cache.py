@@ -71,13 +71,21 @@ class ResultCache:
         if hit is None:
             ...run the simulation...
             cache.put(key, summary, records)
+
+    Args:
+        root: Cache directory (created on demand).
+        metrics: Optional :class:`~repro.obs.registry.MetricsRegistry`;
+            when given, lookups and stores increment ``result_cache.hits``
+            / ``.misses`` / ``.puts`` / ``.quarantined`` counters.
+            Observability only — never affects cache behaviour.
     """
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    def __init__(self, root: Union[str, Path], metrics=None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         #: Corrupt entries moved aside by this cache instance.
         self.quarantined = 0
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -91,6 +99,12 @@ class ResultCache:
         cache does not have); the re-run will overwrite the entry with one
         that includes them.
         """
+        hit = self._read(key, want_records)
+        self._count("hits" if hit is not None else "misses")
+        return hit
+
+    def _read(self, key: str, want_records: bool) -> Optional[CachedRun]:
+        """The lookup itself, without hit/miss accounting."""
         path = self._path(key)
         try:
             payload = json.loads(path.read_text())
@@ -132,9 +146,11 @@ class ResultCache:
         """
         path = self._path(key)
         if records is None:
-            existing = self.get(key, want_records=True)
-            if existing is not None:
+            # _read, not get: this internal probe is bookkeeping and must
+            # not pollute the hit/miss counters.
+            if self._read(key, want_records=True) is not None:
                 return
+        self._count("puts")
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "summary": dataclasses.asdict(summary),
@@ -181,8 +197,13 @@ class ResultCache:
             target_dir.mkdir(parents=True, exist_ok=True)
             os.replace(path, target_dir / f"{path.name}.corrupt")
             self.quarantined += 1
+            self._count("quarantined")
         except OSError:
             self._discard(path)
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"result_cache.{name}").inc()
 
     @staticmethod
     def _discard(path: Path) -> None:

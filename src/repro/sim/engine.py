@@ -53,6 +53,7 @@ from typing import Callable, Optional, Sequence, Union
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.obs.telemetry import RunTelemetry, run_telemetry_path
 from repro.sim.cache import ResultCache, spec_fingerprint
 from repro.sim.metrics import CollectionRecord, SimulationSummary
 from repro.sim.runner import AggregateResult, RunFailure, RunStats
@@ -113,10 +114,11 @@ def _worker_init(trace_cache_root: Optional[str]) -> None:
     _WORKER_TRACE_CACHE = TraceCache(trace_cache_root)
 
 
-def _worker_simulate(spec, seed, keep_records, timeout):
+def _worker_simulate(spec, seed, keep_records, timeout, telemetry_path=None):
     """The unit of work shipped to pool workers (module-level: picklable)."""
     return _simulate(
-        spec, seed, keep_records, timeout=timeout, trace_cache=_WORKER_TRACE_CACHE
+        spec, seed, keep_records, timeout=timeout,
+        trace_cache=_WORKER_TRACE_CACHE, telemetry_path=telemetry_path,
     )
 
 
@@ -149,6 +151,9 @@ class _Success:
     elapsed: float
     #: Simulation attempts spent (0 for cache hits, >=1 otherwise).
     attempts: int
+    #: Telemetry file this run wrote (None when telemetry is off or the
+    #: run was a cache hit — hits skip simulation and write nothing).
+    telemetry: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -179,6 +184,7 @@ def _simulate(
     keep_records: bool,
     timeout: Optional[float] = None,
     trace_cache: Optional[TraceCache] = None,
+    telemetry_path: Union[str, Path, None] = None,
 ) -> tuple[SimulationSummary, Optional[list[CollectionRecord]], float]:
     """Execute one (spec, seed) run.
 
@@ -188,8 +194,21 @@ def _simulate(
     workload trace is resolved through the compiled-trace cache (memo /
     disk / build) instead of re-running the generator; replay is
     event-identical, so the results don't depend on which path ran.
+
+    With a ``telemetry_path`` the run is observed by a
+    :class:`~repro.obs.telemetry.RunTelemetry` written to that file on
+    success (a failed attempt writes nothing — its buffered records die
+    with the exception). Telemetry never changes simulation results.
     """
     started = time.perf_counter()
+    obs = None
+    if telemetry_path is not None:
+        obs = RunTelemetry(
+            telemetry_path,
+            kind="run",
+            label=spec.label or spec.policy.kind,
+            seed=seed,
+        )
     restore = None
     if timeout is not None and hasattr(signal, "SIGALRM"):
         try:
@@ -205,14 +224,22 @@ def _simulate(
         else:
             policy, trace, selection = spec.resolve(seed)
         faults = FaultInjector(spec.faults) if spec.faults is not None else None
-        result = Simulation(
-            policy=policy, selection=selection, config=spec.sim, faults=faults
-        ).run(trace)
+        sim = Simulation(
+            policy=policy, selection=selection, config=spec.sim, faults=faults,
+            obs=obs,
+        )
+        if obs is not None:
+            with obs.span("simulate"):
+                result = sim.run(trace)
+        else:
+            result = sim.run(trace)
     finally:
         if restore is not None:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, restore)
     elapsed = time.perf_counter() - started
+    if obs is not None:
+        obs.close()
     records = list(result.collections) if keep_records else None
     return result.summary, records, elapsed
 
@@ -242,6 +269,15 @@ class ParallelRunner:
             (workload, seed) trace in a batch is built once per sweep and
             replayed everywhere — in-process for serial runs, via pre-warmed
             on-disk compiled binaries for pooled runs.
+        telemetry: A directory to write JSON-lines telemetry into, or
+            ``None`` (the default) to disable observability entirely. When
+            set, every simulated run writes one per-run file (GC timeline,
+            metrics, summary — see :mod:`repro.obs.telemetry`) and each
+            ``run_batch`` call writes one ``engine_NNN.jsonl`` file with
+            batch-level spans, cache counters and failure events. Cache
+            hits skip simulation and write no per-run file. Telemetry only
+            observes: summaries and cache fingerprints are identical with
+            it on or off.
     """
 
     def __init__(
@@ -254,6 +290,7 @@ class ParallelRunner:
         run_timeout: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         trace_cache: TraceCacheLike = None,
+        telemetry: Union[str, Path, None] = None,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -271,6 +308,7 @@ class ParallelRunner:
         self.run_timeout = run_timeout
         self.faults = faults
         self.trace_cache = _as_trace_cache(trace_cache)
+        self.telemetry = Path(telemetry) if telemetry is not None else None
 
     # ------------------------------------------------------------------
     # Entry points
@@ -320,43 +358,131 @@ class ParallelRunner:
         fingerprints: list[Optional[str]] = [None] * len(tasks)
         progress = _Progress(total=len(tasks))
 
-        pending: list[int] = []
-        for index, (si, seed) in enumerate(tasks):
-            if self.cache is not None:
-                fingerprint = spec_fingerprint(specs[si], seed)
-                fingerprints[index] = fingerprint
-                hit = self.cache.get(fingerprint, want_records=keep_records)
-                if hit is not None:
-                    outcomes[index] = _Success(
-                        hit.summary, hit.records, cached=True, elapsed=0.0, attempts=0
+        batch_tel, prev_cache_metrics = self._open_batch_telemetry(specs, seeds)
+        batch_started = time.perf_counter()
+
+        try:
+            pending: list[int] = []
+            for index, (si, seed) in enumerate(tasks):
+                if self.cache is not None:
+                    fingerprint = spec_fingerprint(specs[si], seed)
+                    fingerprints[index] = fingerprint
+                    hit = self.cache.get(fingerprint, want_records=keep_records)
+                    if hit is not None:
+                        outcomes[index] = _Success(
+                            hit.summary, hit.records, cached=True, elapsed=0.0,
+                            attempts=0,
+                        )
+                        self._emit(
+                            progress, specs[si], seed, cached=True, wall_time=0.0
+                        )
+                        continue
+                pending.append(index)
+
+            tel_paths: Optional[list[Optional[str]]] = None
+            if self.telemetry is not None:
+                tel_paths = [None] * len(tasks)
+                for index in pending:
+                    si, seed = tasks[index]
+                    label = specs[si].label or specs[si].policy.kind
+                    tel_paths[index] = str(
+                        run_telemetry_path(self.telemetry, index, label, seed)
                     )
-                    self._emit(progress, specs[si], seed, cached=True, wall_time=0.0)
-                    continue
-            pending.append(index)
 
-        workers = min(self.jobs, len(pending))
-        if workers > 1:
-            try:
-                self._run_pooled(
-                    specs, tasks, pending, fingerprints, outcomes,
-                    keep_records, workers, progress,
-                )
-            except BrokenProcessPool:
-                # The pool died under us (worker killed, interpreter
-                # mismatch, ...). Degrade gracefully: finish whatever is
-                # still unsettled on the in-process serial path.
-                remaining = [i for i in pending if outcomes[i] is None]
+            workers = min(self.jobs, len(pending))
+            if workers > 1:
+                try:
+                    self._run_pooled(
+                        specs, tasks, pending, fingerprints, outcomes,
+                        keep_records, workers, progress, tel_paths,
+                    )
+                except BrokenProcessPool:
+                    # The pool died under us (worker killed, interpreter
+                    # mismatch, ...). Degrade gracefully: finish whatever is
+                    # still unsettled on the in-process serial path.
+                    remaining = [i for i in pending if outcomes[i] is None]
+                    self._run_serial(
+                        specs, tasks, remaining, fingerprints, outcomes,
+                        keep_records, progress, tel_paths,
+                    )
+            else:
                 self._run_serial(
-                    specs, tasks, remaining, fingerprints, outcomes,
-                    keep_records, progress,
+                    specs, tasks, pending, fingerprints, outcomes,
+                    keep_records, progress, tel_paths,
                 )
-        else:
-            self._run_serial(
-                specs, tasks, pending, fingerprints, outcomes,
-                keep_records, progress,
-            )
 
-        return self._assemble(specs, seeds, tasks, outcomes, keep_records)
+            results = self._assemble(specs, seeds, tasks, outcomes, keep_records)
+        finally:
+            if batch_tel is not None and self.cache is not None:
+                self.cache.metrics = prev_cache_metrics
+        if batch_tel is not None:
+            self._close_batch_telemetry(batch_tel, results, batch_started)
+        return results
+
+    # ------------------------------------------------------------------
+    # Batch telemetry
+    # ------------------------------------------------------------------
+
+    def _open_batch_telemetry(self, specs, seeds):
+        """Open the engine-level telemetry file for one batch, if enabled.
+
+        Returns ``(telemetry, previous_cache_metrics)``; while the batch
+        runs, the result cache counts hits/misses into the batch registry
+        (restored by ``run_batch``'s finally clause).
+        """
+        if self.telemetry is None:
+            return None, None
+        root = self.telemetry
+        root.mkdir(parents=True, exist_ok=True)
+        sequence = sum(1 for _ in root.glob("engine_*.jsonl"))
+        batch_tel = RunTelemetry(
+            root / f"engine_{sequence:03d}.jsonl",
+            kind="engine",
+            label="batch",
+            specs=len(specs),
+            seeds=len(seeds),
+            jobs=self.jobs,
+            cache=self.cache is not None,
+            trace_cache=self.trace_cache is not None,
+        )
+        prev_cache_metrics = None
+        if self.cache is not None:
+            prev_cache_metrics = self.cache.metrics
+            self.cache.metrics = batch_tel.metrics
+        return batch_tel, prev_cache_metrics
+
+    def _close_batch_telemetry(self, batch_tel, results, started) -> None:
+        """Record batch-level spans/metrics/events and write the file."""
+        batch_tel.tracer.record("run_batch", time.perf_counter() - started)
+        merged = RunStats()
+        for aggregate in results:
+            if aggregate.stats is not None:
+                merged.merge(aggregate.stats)
+            for failure in aggregate.failures:
+                batch_tel.event(
+                    "run_failed",
+                    label=failure.label,
+                    seed=failure.seed,
+                    error=failure.error,
+                    attempts=failure.attempts,
+                )
+        metrics = batch_tel.metrics
+        metrics.gauge("engine.runs").set(merged.runs)
+        metrics.gauge("engine.cache_hits").set(merged.cache_hits)
+        metrics.gauge("engine.cache_misses").set(merged.cache_misses)
+        metrics.gauge("engine.failures").set(merged.failures)
+        metrics.gauge("engine.retries").set(merged.retries)
+        metrics.gauge("engine.sim_wall_s").set(round(merged.wall_time, 6))
+        metrics.gauge("engine.telemetry_files").set(len(merged.telemetry_paths))
+        if self.trace_cache is not None:
+            metrics.set_many(
+                self.trace_cache.stats.as_metrics(), prefix="trace_cache."
+            )
+        if self.cache is not None:
+            metrics.gauge("result_cache.quarantined_total").set(
+                self.cache.quarantined
+            )
+        batch_tel.close()
 
     # ------------------------------------------------------------------
     # Execution paths
@@ -369,17 +495,21 @@ class ParallelRunner:
             time.sleep(delay)
 
     def _run_serial(self, specs, tasks, pending, fingerprints, outcomes,
-                    keep_records, progress):
-        # Only pass trace_cache when one is configured: the bare call shape
-        # is a compatibility surface (tests and downstream code substitute
-        # 4-argument _simulate doubles).
-        extra = (
+                    keep_records, progress, tel_paths=None):
+        # Only pass trace_cache / telemetry_path when configured: the bare
+        # call shape is a compatibility surface (tests and downstream code
+        # substitute 4-argument _simulate doubles).
+        base_extra = (
             {"trace_cache": self.trace_cache}
             if self.trace_cache is not None
             else {}
         )
         for index in pending:
             si, seed = tasks[index]
+            extra = base_extra
+            tel_path = tel_paths[index] if tel_paths is not None else None
+            if tel_path is not None:
+                extra = {**base_extra, "telemetry_path": tel_path}
             attempt = 0
             while True:
                 attempt += 1
@@ -396,7 +526,8 @@ class ParallelRunner:
                                outcomes)
                     break
                 self._finish(progress, index, specs[si], seed, summary, records,
-                             elapsed, attempt, fingerprints[index], outcomes)
+                             elapsed, attempt, fingerprints[index], outcomes,
+                             telemetry=tel_path)
                 break
 
     def _warm_traces(self, specs, tasks, pending, pool) -> None:
@@ -432,7 +563,7 @@ class ParallelRunner:
                 pass
 
     def _run_pooled(self, specs, tasks, pending, fingerprints, outcomes,
-                    keep_records, workers, progress):
+                    keep_records, workers, progress, tel_paths=None):
         attempts = {index: 1 for index in pending}
         trace_root = (
             str(self.trace_cache.root)
@@ -449,10 +580,13 @@ class ParallelRunner:
 
             def submit(index):
                 si, seed = tasks[index]
-                return pool.submit(
-                    _worker_simulate, specs[si], seed, keep_records,
-                    self.run_timeout,
-                )
+                args = (specs[si], seed, keep_records, self.run_timeout)
+                tel_path = tel_paths[index] if tel_paths is not None else None
+                if tel_path is not None:
+                    # Appended only when set — monkeypatched 4-argument
+                    # _worker_simulate doubles keep working otherwise.
+                    args = args + (tel_path,)
+                return pool.submit(_worker_simulate, *args)
 
             futures = {submit(index): index for index in pending}
             while futures:
@@ -475,16 +609,22 @@ class ParallelRunner:
                         continue
                     self._finish(progress, index, specs[si], seed, summary,
                                  records, elapsed, attempts[index],
-                                 fingerprints[index], outcomes)
+                                 fingerprints[index], outcomes,
+                                 telemetry=(
+                                     tel_paths[index]
+                                     if tel_paths is not None
+                                     else None
+                                 ))
 
     # ------------------------------------------------------------------
     # Settling
     # ------------------------------------------------------------------
 
     def _finish(self, progress, index, spec, seed, summary, records, elapsed,
-                attempts, fingerprint, outcomes):
+                attempts, fingerprint, outcomes, telemetry=None):
         outcomes[index] = _Success(
-            summary, records, cached=False, elapsed=elapsed, attempts=attempts
+            summary, records, cached=False, elapsed=elapsed, attempts=attempts,
+            telemetry=telemetry,
         )
         if self.cache is not None and fingerprint is not None:
             self.cache.put(fingerprint, summary, records)
@@ -545,6 +685,8 @@ class ParallelRunner:
                 else:
                     stats.cache_misses += 1
                     stats.retries += outcome.attempts - 1
+                if outcome.telemetry is not None:
+                    stats.telemetry_paths.append(outcome.telemetry)
                 stats.wall_time += outcome.elapsed
             results.append(aggregate)
         return results
@@ -563,6 +705,7 @@ def run_experiment(
     run_timeout: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
     trace_cache: TraceCacheLike = None,
+    telemetry: Union[str, Path, None] = None,
 ) -> AggregateResult:
     """Run one experimental setting across seeds, in parallel, with caching.
 
@@ -572,13 +715,14 @@ def run_experiment(
     memoised in ``cache``. ``keep_records=True`` additionally returns each
     run's per-collection records (Figures 6/7 need them). ``retries``,
     ``run_timeout`` and ``faults`` configure the failure-tolerance layer,
-    and ``trace_cache`` memoises compiled workload traces across runs —
+    ``trace_cache`` memoises compiled workload traces across runs, and
+    ``telemetry`` names a directory for per-run JSON-lines observability —
     see :class:`ParallelRunner`.
     """
     runner = ParallelRunner(
         jobs=jobs, cache=cache, progress=progress, retries=retries,
         retry_backoff=retry_backoff, run_timeout=run_timeout, faults=faults,
-        trace_cache=trace_cache,
+        trace_cache=trace_cache, telemetry=telemetry,
     )
     return runner.run(spec, seeds, keep_records=keep_records)
 
@@ -596,11 +740,12 @@ def run_experiment_batch(
     run_timeout: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
     trace_cache: TraceCacheLike = None,
+    telemetry: Union[str, Path, None] = None,
 ) -> list[AggregateResult]:
     """Run several settings over the same seeds in one parallel fan-out."""
     runner = ParallelRunner(
         jobs=jobs, cache=cache, progress=progress, retries=retries,
         retry_backoff=retry_backoff, run_timeout=run_timeout, faults=faults,
-        trace_cache=trace_cache,
+        trace_cache=trace_cache, telemetry=telemetry,
     )
     return runner.run_batch(specs, seeds, keep_records=keep_records)

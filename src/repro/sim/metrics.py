@@ -17,7 +17,7 @@ time-varying figures (6 and 7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.gc.collector import CollectionResult
@@ -47,6 +47,16 @@ class CollectionRecord:
     def yield_bytes(self) -> int:
         """Collection yield — bytes reclaimed (middle graph of Figure 7b)."""
         return self.reclaimed_bytes
+
+    @property
+    def estimator_error(self) -> Optional[float]:
+        """Signed estimator error vs the oracle (estimated − actual).
+
+        None when the policy published no estimate (e.g. fixed-rate runs).
+        """
+        if self.estimated_garbage_fraction is None:
+            return None
+        return self.estimated_garbage_fraction - self.actual_garbage_fraction
 
 
 @dataclass(slots=True)

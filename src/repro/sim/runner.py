@@ -110,6 +110,10 @@ class RunStats:
     failures: int = 0
     #: Extra attempts spent retrying runs that eventually succeeded or failed.
     retries: int = 0
+    #: Telemetry files written for this setting's runs (engine-populated,
+    #: present only when the engine ran with ``telemetry=``; cache hits
+    #: skip simulation and therefore produce no file).
+    telemetry_paths: list[str] = field(default_factory=list)
 
     @property
     def runs(self) -> int:
@@ -122,6 +126,7 @@ class RunStats:
         self.cache_misses += other.cache_misses
         self.failures += other.failures
         self.retries += other.retries
+        self.telemetry_paths.extend(other.telemetry_paths)
 
 
 @dataclass(frozen=True)
@@ -159,6 +164,13 @@ class AggregateResult:
     @property
     def runs(self) -> int:
         return len(self.summaries)
+
+    @property
+    def telemetry_paths(self) -> list[str]:
+        """Telemetry files written for this setting (empty when disabled)."""
+        if self.stats is None:
+            return []
+        return self.stats.telemetry_paths
 
     @property
     def garbage_fraction(self) -> AggregateStat:

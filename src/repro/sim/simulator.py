@@ -18,8 +18,9 @@ volunteer extra collections.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Union
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.core.extensions import OpportunisticPolicy
 from repro.core.rate_policy import PolicyContext, RatePolicy, TimeBase, Trigger
@@ -44,6 +45,9 @@ from repro.events import (
     UpdateEvent,
 )
 from repro.tx.manager import TransactionManager
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.telemetry import RunTelemetry
 
 
 # ----------------------------------------------------------------------
@@ -218,6 +222,7 @@ class Simulation:
         faults: Union[FaultInjector, FaultPlan, None] = None,
         store: Optional[ObjectStore] = None,
         redo_log: Optional[RedoLog] = None,
+        obs: Optional["RunTelemetry"] = None,
     ) -> None:
         """Args beyond the policy/selection/config triple:
 
@@ -232,6 +237,12 @@ class Simulation:
         redo_log: An existing redo log to append to (resumed runs continue
             the pre-crash log); a fresh one is created when
             ``config.enable_redo_log`` is set and no log is given.
+        obs: A :class:`~repro.obs.telemetry.RunTelemetry` observer. When
+            set, each collection emits a GC-timeline record and the run's
+            final stats are snapshot into the telemetry metrics registry.
+            Telemetry only observes — results are identical with or
+            without it (the ``if obs is not None`` guards mirror the
+            ``fault_hook`` idiom, so the disabled path costs nothing).
         """
         self.config = config or SimulationConfig()
         self.policy = policy
@@ -252,6 +263,7 @@ class Simulation:
         if self.redo_log is None and self.config.enable_redo_log:
             self.redo_log = RedoLog()
         self.tx = TransactionManager(self.store, wal=wal, redo_log=self.redo_log)
+        self.obs = obs
         self.faults = FaultInjector(faults) if isinstance(faults, FaultPlan) else faults
         if self.faults is not None:
             self.store.attach_fault_injector(self.faults)
@@ -351,12 +363,15 @@ class Simulation:
                 else self._event_index + (0 if not self._event_applied else 1)
             )
             raise
-        return SimulationResult(
+        result = SimulationResult(
             summary=self.sampler.summary(self.store, self.store.iostats),
             sampler=self.sampler,
             store=self.store,
             policy=self.policy,
         )
+        if self.obs is not None:
+            self.obs.on_run_end(self, result)
+        return result
 
     # ------------------------------------------------------------------
     # Event application
@@ -449,11 +464,19 @@ class Simulation:
             # atomic here, and it is never logged, so a crash at any point
             # inside it is equivalent to a crash just before it).
             self.faults.fire("gc.collect")
+        obs = self.obs
+        started = time.perf_counter() if obs is not None else 0.0
         result = self.collector.collect(pid)
         self.store.iostats.mark_collection()
         ctx = PolicyContext(result=result, store=self.store, iostats=self.store.iostats)
         trigger = self.policy.next_trigger(ctx)
         self._record_collection(result, trigger)
+        if obs is not None and self.sampler.collection_records:
+            obs.on_collection(
+                result,
+                self.sampler.collection_records[-1],
+                time.perf_counter() - started,
+            )
         self._schedule(trigger)
         if (
             self.config.validate_every

@@ -47,6 +47,14 @@ class BufferStats:
             return 0.0
         return self.hits / self.accesses
 
+    def as_metrics(self) -> dict:
+        """Flat metric name → value dict (for the observability registry)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class BufferPool:
     """A fixed-capacity LRU page buffer.

@@ -22,7 +22,7 @@ store through the narrow support API at the bottom of this class.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from repro.storage.buffer import (

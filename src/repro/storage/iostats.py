@@ -11,7 +11,7 @@ what SAIO's ``c_hist`` history window is computed over.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class IOCategory(enum.Enum):
@@ -144,6 +144,17 @@ class IOStats:
         if self.grand_total == 0:
             return 0.0
         return self.collector_total / self.grand_total
+
+    def as_metrics(self) -> dict:
+        """Flat metric name → value dict (for the observability registry)."""
+        return {
+            "app.reads": self.application.reads,
+            "app.writes": self.application.writes,
+            "gc.reads": self.collector.reads,
+            "gc.writes": self.collector.writes,
+            "total": self.grand_total,
+            "gc_fraction": self.collector_fraction,
+        }
 
     # ------------------------------------------------------------------
     # Windowed views (for SAIO's history parameter)

@@ -48,6 +48,15 @@ class WalStats:
     forces: int = 0
     records_by_type: dict[str, int] = field(default_factory=dict)
 
+    def as_metrics(self) -> dict:
+        """Flat metric name → value dict (for the observability registry)."""
+        return {
+            "records": self.records,
+            "bytes_logged": self.bytes_logged,
+            "pages_written": self.pages_written,
+            "forces": self.forces,
+        }
+
 
 class WriteAheadLog:
     """A byte-counting WAL with page-granular forced writes.

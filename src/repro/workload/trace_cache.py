@@ -101,6 +101,17 @@ class TraceCacheStats:
             return 0.0
         return (self.memo_hits + self.disk_hits) / total
 
+    def as_metrics(self) -> dict:
+        """Flat metric name → value dict (for the observability registry)."""
+        return {
+            "memo_hits": self.memo_hits,
+            "disk_hits": self.disk_hits,
+            "builds": self.builds,
+            "quarantined": self.quarantined,
+            "uncacheable": self.uncacheable,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class TraceCache:
     """Directory-backed, memoised store of compiled workload traces.

@@ -206,7 +206,7 @@ def read_trace(source: Union[str, Path, IO[str]]) -> Iterator[TraceEvent]:
         except (KeyError, TypeError) as exc:
             raise TraceFormatError(
                 f"line {line_number}: malformed trace record {record!r}: "
-                f"missing type tag 't'"
+                "missing type tag 't'"
             ) from exc
         decoder = decoders.get(tag)
         if decoder is None:

@@ -212,3 +212,51 @@ def test_drill_experiment_runs_via_cli(capsys):
     out = capsys.readouterr().out
     assert "IDENTICAL" in out
     assert "completed in" in out
+
+
+def test_telemetry_flag_parses_and_defaults_off(tmp_path):
+    args = _build_parser().parse_args(["figure4"])
+    assert args.telemetry is None
+    args = _build_parser().parse_args(
+        ["figure4", "--telemetry", str(tmp_path / "tel")]
+    )
+    assert args.telemetry == tmp_path / "tel"
+
+
+def test_run_with_telemetry_writes_files_and_hints(tmp_path, capsys):
+    tel = tmp_path / "tel"
+    assert (
+        main(
+            [
+                "figure1",
+                "--seeds",
+                "0",
+                "--no-cache",
+                "--jobs",
+                "1",
+                "--telemetry",
+                str(tel),
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "completed in" in captured.out
+    assert "repro metrics" in captured.err
+    assert list(tel.glob("engine_*.jsonl"))
+    assert list(tel.glob("run_*.jsonl"))
+    # The written telemetry is readable by the metrics subcommand.
+    assert main(["metrics", str(tel)]) == 0
+    assert "telemetry file(s)" in capsys.readouterr().out
+
+
+def test_drill_with_telemetry_writes_drill_files(tmp_path, capsys):
+    tel = tmp_path / "drill-tel"
+    assert (
+        main(
+            ["drill", "--seeds", "0", "--no-cache", "--telemetry", str(tel)]
+        )
+        == 0
+    )
+    assert "IDENTICAL" in capsys.readouterr().out
+    assert list(tel.glob("run_000_drill_s0.jsonl"))

@@ -1,6 +1,5 @@
 """Tests for global (whole-database) collection — the cyclic-garbage fallback."""
 
-import pytest
 
 from repro.gc.collector import CopyingCollector
 from repro.storage.heap import ObjectStore, StoreConfig

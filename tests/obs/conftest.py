@@ -1,0 +1,10 @@
+"""Shared fixtures for the observability tests: a tiny, cheap spec."""
+
+import pytest
+
+from obs_helpers import make_tiny_spec
+
+
+@pytest.fixture(scope="session")
+def tiny_spec():
+    return make_tiny_spec()

@@ -1,0 +1,16 @@
+"""Spec factory shared by the observability tests (importable by name)."""
+
+from repro.oo7.config import TINY
+from repro.sim.spec import ExperimentSpec, PolicySpec, SimulationConfig, WorkloadSpec
+from repro.storage.heap import StoreConfig
+
+TINY_STORE = StoreConfig(page_size=2048, partition_pages=4, buffer_pages=4)
+
+
+def make_tiny_spec(label: str = "obs-tiny", rate: float = 40.0) -> ExperimentSpec:
+    return ExperimentSpec(
+        label=label,
+        policy=PolicySpec("fixed", {"overwrites_per_collection": rate}),
+        workload=WorkloadSpec("oo7", {"config": TINY}),
+        sim=SimulationConfig(store=TINY_STORE, preamble_collections=0),
+    )

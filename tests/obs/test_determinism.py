@@ -1,0 +1,121 @@
+"""The observability layer's core contract: telemetry only observes.
+
+With telemetry on or off, run summaries must be pickle-equal, result-cache
+fingerprints must be unchanged, and cached results must be byte-identical —
+including under a fault-injected crash-recovery drill.
+"""
+
+import pickle
+
+import pytest
+
+from repro.sim.cache import ResultCache, spec_fingerprint
+from repro.sim.engine import run_experiment
+
+try:
+    from hypothesis import HealthCheck, given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    HAVE_HYPOTHESIS = False
+
+from obs_helpers import make_tiny_spec
+
+
+def _summaries(spec, seeds, **kwargs):
+    agg = run_experiment(spec, seeds=seeds, jobs=1, **kwargs)
+    assert agg.summaries, "tiny spec must simulate successfully"
+    return agg
+
+
+def test_summaries_pickle_equal_with_telemetry_on_and_off(tmp_path):
+    spec = make_tiny_spec()
+    plain = _summaries(spec, [1, 2])
+    observed = _summaries(spec, [1, 2], telemetry=tmp_path)
+    assert pickle.dumps(plain.summaries) == pickle.dumps(observed.summaries)
+    assert plain.stats.failures == observed.stats.failures
+    # Only the observed run carries telemetry paths.
+    assert plain.telemetry_paths == []
+    assert len(observed.telemetry_paths) == 2
+
+
+def test_fingerprints_do_not_mention_telemetry():
+    spec = make_tiny_spec()
+    # spec_fingerprint is a pure function of (spec, seed); the telemetry
+    # destination is engine state, not spec state, so the same spec always
+    # fingerprints identically. Guard against future regressions where a
+    # telemetry field leaks into the spec material.
+    assert spec_fingerprint(spec, 1) == spec_fingerprint(make_tiny_spec(), 1)
+    from repro.sim.spec import spec_material
+
+    assert "telemetry" not in str(spec_material(spec, seed=1))
+
+
+def test_cache_entries_identical_with_telemetry_on_and_off(tmp_path):
+    spec = make_tiny_spec()
+    cache_off = ResultCache(tmp_path / "off")
+    cache_on = ResultCache(tmp_path / "on")
+    _summaries(spec, [3], cache=cache_off)
+    _summaries(spec, [3], cache=cache_on, telemetry=tmp_path / "tel")
+    key = spec_fingerprint(spec, 3)
+    entry_off = cache_off.get(key)
+    entry_on = cache_on.get(key)
+    assert entry_off is not None and entry_on is not None
+    assert pickle.dumps(entry_off.summary) == pickle.dumps(entry_on.summary)
+
+
+def test_cache_hits_skip_telemetry_files(tmp_path):
+    spec = make_tiny_spec()
+    cache = ResultCache(tmp_path / "cache")
+    tel = tmp_path / "tel"
+    _summaries(spec, [4], cache=cache, telemetry=tel)
+    first_runs = {p.name for p in tel.glob("run_*.jsonl")}
+    assert len(first_runs) == 1
+    # Second invocation: answered from the cache; no new run file, only a
+    # new engine batch file.
+    again = _summaries(spec, [4], cache=cache, telemetry=tel)
+    assert {p.name for p in tel.glob("run_*.jsonl")} == first_runs
+    assert again.telemetry_paths == []
+    assert len(list(tel.glob("engine_*.jsonl"))) == 2
+
+
+def test_drill_reports_identical_with_telemetry_on_and_off(tmp_path):
+    from repro.experiments.drill_exp import run_drill
+
+    plain = run_drill(seeds=[0])
+    observed = run_drill(seeds=[0], telemetry=tmp_path)
+    report_plain = plain.reports[0]
+    report_observed = observed.reports[0]
+    assert pickle.dumps(report_plain) == pickle.dumps(report_observed)
+    assert report_observed.matches_reference
+    assert list(tmp_path.glob("run_000_drill_s0.jsonl"))
+
+
+if HAVE_HYPOTHESIS:
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        rate=st.sampled_from([20.0, 40.0, 80.0]),
+    )
+    def test_property_observed_run_matches_plain_run(tmp_path, seed, rate):
+        spec = make_tiny_spec(label="obs-prop", rate=rate)
+        plain = _summaries(spec, [seed])
+        observed = _summaries(spec, [seed], telemetry=tmp_path / str(seed))
+        assert pickle.dumps(plain.summaries) == pickle.dumps(
+            observed.summaries
+        )
+        assert spec_fingerprint(spec, seed) == spec_fingerprint(
+            make_tiny_spec(label="obs-prop", rate=rate), seed
+        )
+
+else:  # pragma: no cover
+
+    @pytest.mark.skip(reason="hypothesis not installed")
+    def test_property_observed_run_matches_plain_run():
+        pass

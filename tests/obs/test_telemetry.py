@@ -1,0 +1,179 @@
+"""RunTelemetry files: schema, atomic writes, loading, integration."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (
+    TELEMETRY_FORMAT,
+    RunTelemetry,
+    TelemetryError,
+    iter_telemetry_files,
+    load_telemetry,
+    run_telemetry_path,
+)
+
+
+def test_run_telemetry_path_slugs_labels(tmp_path):
+    path = run_telemetry_path(tmp_path, 7, "SAGA w=0.5 / CB", 3)
+    assert path.parent == tmp_path
+    assert path.name == "run_007_SAGA-w-0.5---CB_s3.jsonl"
+    # Degenerate labels still produce a usable name.
+    assert run_telemetry_path(tmp_path, 0, "///", 0).name == "run_000_run_s0.jsonl"
+
+
+def test_meta_is_first_line_with_format_and_attrs(tmp_path):
+    tel = RunTelemetry(
+        tmp_path / "t.jsonl", kind="run", label="cell", seed=5, jobs=2
+    )
+    tel.close()
+    records = load_telemetry(tmp_path / "t.jsonl")
+    assert records[0] == {
+        "type": "meta",
+        "format": TELEMETRY_FORMAT,
+        "kind": "run",
+        "label": "cell",
+        "seed": 5,
+        "attrs": {"jobs": 2},
+    }
+
+
+def test_records_spans_events_and_metrics_round_trip(tmp_path):
+    tel = RunTelemetry(tmp_path / "t.jsonl", kind="drill", label="d")
+    tel.event("crash", site="tx.commit", event_index=40)
+    with tel.span("segment", start=0):
+        tel.metrics.counter("drill.recoveries").inc()
+    tel.record("custom", value=1)
+    path = tel.close()
+    records = load_telemetry(path)
+    types = [r["type"] for r in records]
+    assert types == ["meta", "event", "span", "custom", "metrics"]
+    assert records[1]["name"] == "crash"
+    assert records[1]["site"] == "tx.commit"
+    assert records[2]["name"] == "segment"
+    assert records[-1]["counters"] == {"drill.recoveries": 1}
+
+
+def test_summary_stays_last_after_metrics_insertion(tmp_path):
+    tel = RunTelemetry(tmp_path / "t.jsonl")
+    tel.metrics.counter("c").inc()
+    tel.record("summary", events=10)
+    records = load_telemetry(tel.close())
+    assert [r["type"] for r in records] == ["meta", "metrics", "summary"]
+
+
+def test_close_is_idempotent_and_atomic(tmp_path):
+    tel = RunTelemetry(tmp_path / "sub" / "t.jsonl")
+    first = tel.close()
+    tel.event("late", name_conflict=False)
+    assert tel.close() == first
+    # No temp files left behind; the one real file parses.
+    assert [p.name for p in tmp_path.rglob("*")
+            if p.is_file()] == ["t.jsonl"]
+    # The late event (after close) was dropped, not half-written.
+    assert [r["type"] for r in load_telemetry(first)] == ["meta"]
+
+
+def test_load_rejects_malformed_files(tmp_path):
+    bad_json = tmp_path / "bad.jsonl"
+    bad_json.write_text('{"type": "meta"\n')
+    with pytest.raises(TelemetryError, match="malformed JSON"):
+        load_telemetry(bad_json)
+
+    no_meta = tmp_path / "no_meta.jsonl"
+    no_meta.write_text('{"type": "span", "name": "x"}\n')
+    with pytest.raises(TelemetryError, match="missing leading 'meta'"):
+        load_telemetry(no_meta)
+
+    not_record = tmp_path / "not_record.jsonl"
+    not_record.write_text("[1, 2, 3]\n")
+    with pytest.raises(TelemetryError, match="not a telemetry record"):
+        load_telemetry(not_record)
+
+    alien = tmp_path / "alien.jsonl"
+    alien.write_text(json.dumps({"type": "meta", "format": 999}) + "\n")
+    with pytest.raises(TelemetryError, match="format 999"):
+        load_telemetry(alien)
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n\n")
+    with pytest.raises(TelemetryError, match="missing leading 'meta'"):
+        load_telemetry(empty)
+
+
+def test_iter_telemetry_files_sorted_and_single_file(tmp_path):
+    for name in ("b.jsonl", "a.jsonl", "ignored.txt"):
+        (tmp_path / name).write_text("")
+    assert [p.name for p in iter_telemetry_files(tmp_path)] == [
+        "a.jsonl",
+        "b.jsonl",
+    ]
+    single = tmp_path / "b.jsonl"
+    assert list(iter_telemetry_files(single)) == [single]
+
+
+# ----------------------------------------------------------------------
+# Integration with a real simulation run
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def simulated_telemetry(tmp_path_factory, tiny_spec):
+    from repro.sim.engine import run_experiment
+
+    root = tmp_path_factory.mktemp("telemetry")
+    agg = run_experiment(tiny_spec, seeds=[1], jobs=1, telemetry=root)
+    return root, agg
+
+
+def test_engine_run_writes_run_and_engine_files(simulated_telemetry):
+    root, agg = simulated_telemetry
+    names = [p.name for p in iter_telemetry_files(root)]
+    assert "engine_000.jsonl" in names
+    assert any(n.startswith("run_000_") for n in names)
+    assert len(agg.telemetry_paths) == 1
+
+
+def test_collection_records_carry_the_gc_timeline(simulated_telemetry):
+    root, agg = simulated_telemetry
+    records = load_telemetry(agg.telemetry_paths[0])
+    collections = [r for r in records if r["type"] == "collection"]
+    assert collections, "expected at least one collection in the tiny run"
+    required = {
+        "number",
+        "phase",
+        "event_index",
+        "overwrite_clock",
+        "partition",
+        "reclaimed_bytes",
+        "reclaimed_objects",
+        "live_bytes",
+        "survivors",
+        "gc_reads",
+        "gc_writes",
+        "interval_next",
+        "actual_garbage_fraction",
+        "estimated_garbage_fraction",
+        "target_garbage_fraction",
+        "estimator_error",
+        "db_size",
+        "wall_s",
+    }
+    for record in collections:
+        assert required <= set(record)
+    numbers = [r["number"] for r in collections]
+    assert numbers == sorted(numbers)
+
+
+def test_run_file_ends_with_metrics_then_summary(simulated_telemetry):
+    root, agg = simulated_telemetry
+    records = load_telemetry(agg.telemetry_paths[0])
+    assert records[-1]["type"] == "summary"
+    assert records[-2]["type"] == "metrics"
+    counters = records[-2]["counters"]
+    collections = [r for r in records if r["type"] == "collection"]
+    assert counters["gc.collections"] == len(collections)
+    gauges = records[-2]["gauges"]
+    assert "io.gc.reads" in gauges
+    assert "buffer.hit_rate" in gauges
+    assert "sim.events" in gauges

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.fixed import FixedRatePolicy
 from repro.oo7.builder import build_database

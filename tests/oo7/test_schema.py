@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.events import CreateEvent, PointerWriteEvent, RootEvent
-from repro.oo7.config import TINY, OO7Config
+from repro.oo7.config import TINY
 from repro.oo7.schema import Oo7Graph
 from repro.storage.object_model import ObjectKind
 

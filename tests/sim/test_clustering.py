@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.oo7.builder import apply_event
 from repro.oo7.config import OO7Config

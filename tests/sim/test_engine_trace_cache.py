@@ -1,6 +1,5 @@
 """Engine + trace cache: once-per-sweep builds, identical results at any jobs."""
 
-import pytest
 
 from repro.oo7.config import TINY
 from repro.sim.engine import run_experiment_batch

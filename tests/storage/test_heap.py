@@ -3,7 +3,6 @@
 import pytest
 
 from repro.storage.heap import ObjectStore, StoreConfig, StoreError
-from repro.storage.object_model import ObjectKind
 
 #: Geometry used throughout: 4 pages × 256 bytes = 1 KB partitions.
 CFG = StoreConfig(page_size=256, partition_pages=4, buffer_pages=4)
@@ -57,7 +56,7 @@ def test_database_grows_when_partition_full(store):
 
 
 def test_first_fit_reuses_earlier_free_space(store):
-    a = store.create(size=900)
+    store.create(size=900)
     store.create(size=900)  # forces partition 1
     assert store.partition_count == 2
     # Partition 0 still has 124 bytes free → small object goes there.
@@ -167,7 +166,7 @@ def test_overwrite_removes_old_remembered_reference(store):
 
 def test_create_pointers_populate_remembered_sets(store):
     b = store.create(size=900)  # partition 0
-    a = store.create(size=900, pointers={"x": b})  # partition 1
+    store.create(size=900, pointers={"x": b})  # partition 1
     assert b in store.partitions[0].externally_referenced()
 
 

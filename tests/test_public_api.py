@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.faults",
     "repro.gc",
+    "repro.obs",
     "repro.oo7",
     "repro.sim",
     "repro.storage",

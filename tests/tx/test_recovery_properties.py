@@ -7,14 +7,12 @@ boundary (commit or abort) durable within that prefix — never a torn,
 partially applied transaction.
 """
 
-import dataclasses
 import itertools
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.storage.heap import ObjectStore, StoreConfig
-from repro.storage.object_model import ObjectKind
 from repro.tx.manager import TransactionManager
 from repro.tx.recovery import RedoLog, recover
 

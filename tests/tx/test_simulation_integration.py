@@ -6,7 +6,6 @@ from repro.core.estimators import OracleEstimator
 from repro.core.fixed import FixedRatePolicy
 from repro.core.saga import SagaPolicy
 from repro.events import (
-    AbortTransactionEvent,
     BeginTransactionEvent,
     CommitTransactionEvent,
     CreateEvent,

@@ -85,7 +85,7 @@ def test_mixed_churn_is_bimodal():
     graph, store, rng = _generated()
     composite = graph.composites[0]
 
-    doc_events = graph.replace_document(composite)
+    graph.replace_document(composite)
     doc_gpo = TINY.document_size / 1  # one overwrite
 
     part = composite.deletable_parts()[0]

@@ -4,7 +4,6 @@ import pytest
 
 from repro.events import (
     AccessEvent,
-    CreateEvent,
     IdleEvent,
     PhaseMarkerEvent,
     PointerWriteEvent,
