@@ -6,6 +6,9 @@ Tracks the engine's performance trajectory with a standard suite:
   replay it under a fixed-rate policy): the representative experiment cost.
 * ``traverse_replay`` — replay of a prebuilt trace only (no build), the
   pure inner-loop throughput number in events/second.
+* ``collection_throughput`` — collector-only throughput (collections/s and
+  traced objects per collection) for the remembered-set frontier vs the
+  full-scan baseline, asserting both produce pickle-equal summaries.
 * ``trace_compile_load`` — workload rebuild vs trace compile vs binary
   save/load, demonstrating the compiled-trace speedup.
 * ``sweep_trace_cache`` — a small multi-spec sweep through the trace
@@ -25,9 +28,10 @@ Results land in ``BENCH_<date>.json`` (see ``--out``)::
     }
 
 ``--baseline BENCH_old.json --max-regression 0.30`` turns the run into a
-gate: the process exits 1 when any events/second metric drops more than
-the threshold against the baseline (CI compares against the number
-recorded in the repo).
+gate: the process exits 1 when any gated throughput metric (events/s and
+collections/s, see ``GATED_METRICS``) drops more than the threshold
+against the baseline (CI compares against the number recorded in the
+repo).
 
 ``--telemetry DIR`` additionally writes JSON-lines telemetry: one
 ``kind="bench"`` file per suite case (phase spans, per-collection GC
@@ -59,6 +63,7 @@ BENCH_FORMAT = 1
 GATED_METRICS = (
     "figure1_cell.events_per_s",
     "traverse_replay.events_per_s",
+    "collection_throughput.remembered.collections_per_s",
 )
 
 
@@ -170,6 +175,84 @@ def bench_traverse_replay(quick: bool, repeats: int, telemetry=None) -> dict:
     }
 
 
+def bench_collection_throughput(quick: bool, repeats: int, telemetry=None) -> dict:
+    """Collector throughput per reachability mode — collections/second and
+    traced objects per collection, separate from the events/s replay number.
+
+    Replays the same prebuilt Figure 1 cell trace once per mode, timing
+    only the ``collector.collect`` calls (everything else — event replay,
+    policy bookkeeping — is identical between modes and excluded). Quick
+    scale collects at a denser rate so even the tiny configuration produces
+    enough collections for a stable number. Also asserts the two modes'
+    summaries stay pickle-equal, so the speedup is never bought with a
+    behaviour change.
+    """
+    import pickle
+    from dataclasses import replace
+
+    from repro.sim.spec import build_workload
+
+    # Quick scale collects much more often: the tiny trace has few pointer
+    # overwrites, and the gate needs enough collections for stable timing.
+    spec = _cell_spec(_bench_config(quick), rate=10.0 if quick else 200.0)
+    events = list(build_workload(spec.workload, 0))
+
+    def run_mode(mode: str):
+        mode_spec = replace(spec, sim=replace(spec.sim, reachability=mode))
+        best_wall = float("inf")
+        best = None
+        for _ in range(max(1, repeats)):
+            sim = _new_simulation(mode_spec, 0)
+            collector = sim.collector
+            inner = collector.collect
+            gc_wall = 0.0
+
+            def timed(pid):
+                nonlocal gc_wall
+                started = time.perf_counter()
+                result = inner(pid)
+                gc_wall += time.perf_counter() - started
+                return result
+
+            collector.collect = timed
+            summary = sim.run(events).summary
+            if gc_wall < best_wall:
+                best_wall = gc_wall
+                best = (collector, summary)
+        collector, summary = best
+        collections = collector.collections_performed
+        traced = collector.traced_objects_total
+        heap = collector.heap_objects_total
+        return {
+            "collections": collections,
+            "gc_wall_s": round(best_wall, 4),
+            "collections_per_s": round(collections / best_wall, 1)
+            if best_wall > 0
+            else float("inf"),
+            "traced_objects_per_collection": round(traced / collections, 1)
+            if collections
+            else 0.0,
+            "traced_vs_heap": round(traced / heap, 4) if heap else 0.0,
+        }, summary
+
+    remembered, remembered_summary = run_mode("remembered")
+    full, full_summary = run_mode("full")
+    if telemetry is not None:
+        _telemetered_replay(telemetry, "collection_throughput", spec, events)
+    return {
+        "events": len(events),
+        "remembered": remembered,
+        "full": full,
+        "speedup_vs_full": round(
+            remembered["collections_per_s"] / full["collections_per_s"], 2
+        )
+        if full["collections_per_s"]
+        else float("inf"),
+        "summaries_match": pickle.dumps(remembered_summary)
+        == pickle.dumps(full_summary),
+    }
+
+
 def bench_trace_compile_load(quick: bool, repeats: int, telemetry=None) -> dict:
     """Workload rebuild vs compile vs binary save/load."""
     from repro.sim.spec import build_workload
@@ -249,6 +332,7 @@ def bench_sweep_trace_cache(quick: bool, repeats: int, telemetry=None) -> dict:
 SUITE = (
     ("figure1_cell", bench_figure1_cell),
     ("traverse_replay", bench_traverse_replay),
+    ("collection_throughput", bench_collection_throughput),
     ("trace_compile_load", bench_trace_compile_load),
     ("sweep_trace_cache", bench_sweep_trace_cache),
 )
@@ -283,7 +367,14 @@ def run_suite(quick: bool = False, repeats: int = 2, telemetry=None) -> dict:
     if suite_tel is not None:
         for name, payload in results.items():
             for key, value in payload.items():
-                if isinstance(value, (int, float)) and value != float("inf"):
+                if isinstance(value, dict):
+                    # Per-mode sub-results (collection_throughput).
+                    for sub_key, sub_value in value.items():
+                        if isinstance(sub_value, (int, float)) and sub_value != float("inf"):
+                            suite_tel.metrics.gauge(
+                                f"bench.{name}.{key}.{sub_key}"
+                            ).set(sub_value)
+                elif isinstance(value, (int, float)) and value != float("inf"):
                     suite_tel.metrics.gauge(f"bench.{name}.{key}").set(value)
         suite_tel.close()
     return {
@@ -326,7 +417,7 @@ def check_regression(
         floor = old * (1.0 - max_regression)
         if new < floor:
             problems.append(
-                f"{dotted}: {new:,.0f} events/s is "
+                f"{dotted}: {new:,.0f} is "
                 f"{(1 - new / old) * 100:.1f}% below baseline {old:,.0f} "
                 f"(allowed {max_regression * 100:.0f}%)"
             )
@@ -345,6 +436,15 @@ def _format_report(doc: dict) -> str:
     lines.append(
         f"  traverse_replay:    {rep['wall_s']:.3f}s "
         f"({rep['events_per_s']:,.0f} events/s, {rep['collections']} collections)"
+    )
+    ct = r["collection_throughput"]
+    lines.append(
+        f"  collection_throughput: remembered "
+        f"{ct['remembered']['collections_per_s']:,.0f} coll/s vs full "
+        f"{ct['full']['collections_per_s']:,.0f} coll/s "
+        f"({ct['speedup_vs_full']:g}x, "
+        f"{ct['remembered']['traced_objects_per_collection']:,.0f} traced "
+        f"objs/collection, summaries match: {ct['summaries_match']})"
     )
     tcl = r["trace_compile_load"]
     lines.append(

@@ -26,13 +26,21 @@ charged to the collector.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
+from repro.gc.remembered import full_scan_frontier
 from repro.storage.heap import ObjectStore
 from repro.storage.iostats import IOCategory
 from repro.storage.object_model import ObjectId
 from repro.storage.partition import PartitionId
+from repro.storage.traversal import breadth_first_order
+
+#: Valid ``reachability`` modes: ``"remembered"`` derives each collection's
+#: frontier from the store's incremental index (O(partition + boundary));
+#: ``"full"`` recomputes it from a whole-heap scan per collection (O(heap)).
+#: Both produce identical results — the switch exists for A/B verification
+#: and for the ``collection_throughput`` benchmark.
+REACHABILITY_MODES = ("remembered", "full")
 
 
 @dataclass(frozen=True)
@@ -82,12 +90,36 @@ class CollectionResult:
 
 
 class CopyingCollector:
-    """Collects one partition at a time with Cheney copying compaction."""
+    """Collects one partition at a time with Cheney copying compaction.
 
-    def __init__(self, store: ObjectStore) -> None:
+    Args:
+        store: The heap to collect.
+        reachability: How each collection's frontier (conservative roots +
+            external fix-up pages) is derived — see
+            :data:`REACHABILITY_MODES`. The default ``"remembered"`` reads
+            the store's incrementally maintained index; ``"full"`` is the
+            from-scratch whole-heap baseline kept for A/B verification.
+            Within-partition tracing is identical in both modes, and so are
+            all results (summaries are pickle-equal, property-tested).
+    """
+
+    def __init__(self, store: ObjectStore, reachability: str = "remembered") -> None:
+        if reachability not in REACHABILITY_MODES:
+            raise ValueError(
+                f"reachability must be one of {REACHABILITY_MODES}, "
+                f"got {reachability!r}"
+            )
         self._store = store
+        self.reachability = reachability
         self.collections_performed = 0
         self.total_reclaimed_bytes = 0
+        #: Objects traced (visited by the survivor scan) across all
+        #: collections — the numerator of the traced-vs-heap telemetry and
+        #: the bench's traced-objects-per-collection.
+        self.traced_objects_total = 0
+        #: Heap size (object count) sampled at each collection, summed —
+        #: the denominator of the traced-vs-heap ratio.
+        self.heap_objects_total = 0
 
     def collect(self, pid: PartitionId) -> CollectionResult:
         """Collect partition ``pid`` and return the outcome."""
@@ -97,8 +129,14 @@ class CopyingCollector:
         overwrite_clock = store.pointer_overwrites
         pages_before = partition.used_pages(store.config.page_size)
 
-        survivors = self._trace_survivors(pid)
-        fixup_pages = store.external_source_pages(pid)
+        if self.reachability == "full":
+            roots, fixup_pages = full_scan_frontier(store, pid)
+        else:
+            roots = store.partition_roots(pid)
+            fixup_pages = store.external_source_pages(pid)
+        survivors = self._trace_survivors(pid, roots)
+        self.traced_objects_total += len(survivors)
+        self.heap_objects_total += len(store.objects)
 
         reads_before = store.iostats.collector.reads
         writes_before = store.iostats.collector.writes
@@ -160,6 +198,8 @@ class CopyingCollector:
             pages_before = partition.used_pages(store.config.page_size)
             survivors = sorted(partition.residents & reachable)
             fixup_pages = store.external_source_pages(pid)
+            self.traced_objects_total += len(survivors)
+            self.heap_objects_total += len(store.objects)
 
             reads_before = store.iostats.collector.reads
             writes_before = store.iostats.collector.writes
@@ -196,36 +236,17 @@ class CopyingCollector:
     # Internals
     # ------------------------------------------------------------------
 
-    def _trace_survivors(self, pid: PartitionId) -> list[ObjectId]:
+    def _trace_survivors(
+        self, pid: PartitionId, roots: set[ObjectId]
+    ) -> list[ObjectId]:
         """Cheney breadth-first trace from the partition's conservative roots.
 
         Returns survivors in copy order. Roots are enqueued in a stable sorted
-        order so runs are deterministic.
+        order so runs are deterministic regardless of how the frontier was
+        derived. Restricting the traversal domain to the partition's residents
+        means pointers leaving the partition are not traversed (§3.1).
         """
         store = self._store
-        roots = sorted(store.partition_roots(pid))
-        queue: deque[ObjectId] = deque(roots)
-        copied: set[ObjectId] = set(roots)
-        order: list[ObjectId] = []
-        # Hot path: the intra-partition adjacency test collapses to a
-        # residents-set membership check (an object resides in ``pid`` iff
-        # its placement says so), with the object table and queue methods
-        # hoisted out of the scan.
-        objects = store.objects
-        residents = store.partitions[pid].residents
-        copied_add = copied.add
-        queue_append = queue.append
-        order_append = order.append
-        popleft = queue.popleft
-        while queue:
-            oid = popleft()
-            order_append(oid)
-            for target in objects[oid].pointers.values():
-                if (
-                    target is not None
-                    and target in residents
-                    and target not in copied
-                ):
-                    copied_add(target)
-                    queue_append(target)
-        return order
+        return breadth_first_order(
+            store.objects, sorted(roots), within=store.partitions[pid].residents
+        )

@@ -63,6 +63,7 @@ from repro.sim.spec import (
     build_policy,
     build_selection,
 )
+from repro.workload.shm import SharedTraceArena
 from repro.workload.trace_cache import TraceCache, trace_fingerprint
 
 
@@ -103,15 +104,25 @@ TraceCacheLike = Union[TraceCache, str, Path, None]
 _WORKER_TRACE_CACHE: Optional[TraceCache] = None
 
 
-def _worker_init(trace_cache_root: Optional[str]) -> None:
+def _worker_init(
+    trace_cache_root: Optional[str],
+    shared_traces: Optional[dict[str, str]] = None,
+) -> None:
     """Process-pool initializer: open this worker's trace cache once.
 
     ``trace_cache_root=None`` still installs a memo-only cache so a warm
     worker that receives several tasks for the same (workload, seed) skips
     the rebuild even without an on-disk layer.
+
+    ``shared_traces`` (fingerprint → shared-memory segment name) registers
+    the parent's published trace segments: resolutions of those traces
+    attach to the one shared mapping and decode zero-copy instead of
+    re-reading the on-disk binary per worker.
     """
     global _WORKER_TRACE_CACHE
     _WORKER_TRACE_CACHE = TraceCache(trace_cache_root)
+    if shared_traces:
+        _WORKER_TRACE_CACHE.attach_shared(shared_traces)
 
 
 def _worker_simulate(spec, seed, keep_records, timeout, telemetry_path=None):
@@ -562,6 +573,40 @@ class ParallelRunner:
             except Exception:
                 pass
 
+    def _publish_shared_traces(self, specs, tasks, pending):
+        """Map this batch's on-disk compiled traces into shared memory.
+
+        Returns a :class:`~repro.workload.shm.SharedTraceArena` (or ``None``
+        when nothing was publishable); the caller ships ``arena.plan()`` to
+        the pool initializer and closes the arena once the pool is gone.
+
+        Only traces already materialised on disk can be published — the
+        plan travels in the pool's ``initargs``, which are fixed before the
+        warm pass runs. Cold traces therefore load from disk this sweep and
+        become shareable in the next one. Every failure here degrades to
+        the disk path, never to an error.
+        """
+        cache = self.trace_cache
+        arena = None
+        seen: set = set()
+        for index in pending:
+            si, seed = tasks[index]
+            try:
+                key = trace_fingerprint(specs[si].workload, seed)
+            except TypeError:
+                continue  # uncacheable workload: never shared
+            if key in seen:
+                continue
+            seen.add(key)
+            path = cache.entry_path(key)
+            if path is None:
+                continue  # cold: the warm pass will build it, on disk only
+            if arena is None:
+                arena = SharedTraceArena()
+            if arena.publish_file(key, path) is not None:
+                cache.stats.shm_published += 1
+        return arena
+
     def _run_pooled(self, specs, tasks, pending, fingerprints, outcomes,
                     keep_records, workers, progress, tel_paths=None):
         attempts = {index: 1 for index in pending}
@@ -570,10 +615,30 @@ class ParallelRunner:
             if self.trace_cache is not None and self.trace_cache.root is not None
             else None
         )
+        arena = None
+        shared_plan = None
+        if trace_root is not None:
+            arena = self._publish_shared_traces(specs, tasks, pending)
+            if arena is not None and len(arena):
+                shared_plan = arena.plan()
+        try:
+            self._run_pooled_inner(
+                specs, tasks, pending, fingerprints, outcomes, keep_records,
+                workers, progress, tel_paths, attempts, trace_root, shared_plan,
+            )
+        finally:
+            if arena is not None:
+                # Workers have exited (the pool context manager joins them),
+                # so unlinking here frees the segments everywhere.
+                arena.close()
+
+    def _run_pooled_inner(self, specs, tasks, pending, fingerprints, outcomes,
+                          keep_records, workers, progress, tel_paths, attempts,
+                          trace_root, shared_plan):
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_worker_init,
-            initargs=(trace_root,),
+            initargs=(trace_root, shared_plan),
         ) as pool:
             if self.trace_cache is not None and self.trace_cache.root is not None:
                 self._warm_traces(specs, tasks, pending, pool)

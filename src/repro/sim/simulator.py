@@ -137,12 +137,35 @@ _HANDLER_ORDER = (
 )
 
 
+#: Cap on memoised event classes per dispatch table. The memo keys are class
+#: objects, so an unbounded table would pin every event subclass ever seen
+#: (and grow without limit) for the life of the process — a real leak for
+#: long-lived processes and test suites that mint event classes dynamically.
+#: Ordinary traces only use the ten builtin classes and never hit the cap.
+_DYNAMIC_CLASS_LIMIT = 256
+
+#: The statically registered event classes; never evicted from any memo.
+_BUILTIN_EVENT_CLASSES = frozenset(_EVENT_HANDLERS)
+
+
+def _bounded_memo(table: dict, cls: type, value):
+    """Insert ``table[cls] = value``, evicting dynamic entries at the cap.
+
+    The hit path stays a plain dict ``get``; the eviction sweep runs only
+    when a *new* dynamic (non-builtin) class is inserted past the cap.
+    """
+    if cls not in _BUILTIN_EVENT_CLASSES and len(table) >= _DYNAMIC_CLASS_LIMIT:
+        for key in [k for k in table if k not in _BUILTIN_EVENT_CLASSES]:
+            del table[key]
+    table[cls] = value
+    return value
+
+
 def _resolve_handler(cls: type):
     """Memoise the handler for an event subclass (original chain order)."""
     for base, handler in _HANDLER_ORDER:
         if issubclass(cls, base):
-            _EVENT_HANDLERS[cls] = handler
-            return handler
+            return _bounded_memo(_EVENT_HANDLERS, cls, handler)
     raise TypeError(f"unknown trace event class {cls!r}")
 
 
@@ -180,6 +203,16 @@ class SimulationConfig:
             log covers the whole trace. Logical logging charges no I/O, so
             enabling it never changes simulation results — it only makes
             crash–recover–continue drills possible.
+        reachability: How the collector derives each collection's frontier
+            (conservative roots + external fix-up pages). ``"remembered"``
+            (default) reads the store's incrementally maintained
+            remembered-set index in O(partition + boundary); ``"full"``
+            recomputes it from a whole-heap scan per collection. Results are
+            identical in both modes (summaries are pickle-equal,
+            property-tested); the switch exists for A/B verification and the
+            ``collection_throughput`` benchmark. Excluded from experiment
+            fingerprints for the same reason — see
+            :mod:`repro.sim.spec`.
     """
 
     store: StoreConfig = field(default_factory=StoreConfig)
@@ -191,6 +224,7 @@ class SimulationConfig:
     enable_wal: bool = False
     wal_page_size: int = 8 * 1024
     enable_redo_log: bool = False
+    reachability: str = "remembered"
 
 
 @dataclass
@@ -248,7 +282,9 @@ class Simulation:
         self.policy = policy
         self.selection = selection or UpdatedPointerSelection()
         self.store = store if store is not None else ObjectStore(self.config.store)
-        self.collector = CopyingCollector(self.store)
+        self.collector = CopyingCollector(
+            self.store, reachability=self.config.reachability
+        )
         self.sampler = Sampler(
             preamble_collections=self.config.preamble_collections,
             keep_event_series=self.config.keep_event_series,
@@ -340,7 +376,7 @@ class Simulation:
                         kind = 2
                     else:
                         kind = 0
-                    run_kinds[cls] = kind
+                    _bounded_memo(run_kinds, cls, kind)
                 if kind:
                     if kind == 1:
                         continue
@@ -392,8 +428,9 @@ class Simulation:
             cls = event.__class__
             mutating = _MUTATING_MEMO.get(cls)
             if mutating is None:
-                mutating = isinstance(event, self._MUTATING)
-                _MUTATING_MEMO[cls] = mutating
+                mutating = _bounded_memo(
+                    _MUTATING_MEMO, cls, isinstance(event, self._MUTATING)
+                )
             if mutating:
                 txid = self._auto_txid
                 self._auto_txid -= 1
@@ -477,6 +514,20 @@ class Simulation:
                 self.sampler.collection_records[-1],
                 time.perf_counter() - started,
             )
+            # Remembered-set health: current set sizes, lifetime boundary
+            # churn, and how much of the heap each collection actually
+            # traces. Pure functions of simulation state, so the telemetry
+            # determinism contract holds.
+            collector = self.collector
+            remembered = self.store.remembered.stats()
+            remembered["traced_objects_total"] = collector.traced_objects_total
+            remembered["heap_objects_total"] = collector.heap_objects_total
+            remembered["traced_vs_heap"] = (
+                collector.traced_objects_total / collector.heap_objects_total
+                if collector.heap_objects_total
+                else 0.0
+            )
+            obs.metrics.set_many(remembered, prefix="gc.remembered.")
         self._schedule(trigger)
         if (
             self.config.validate_every

@@ -253,17 +253,31 @@ for _name in ("updated-pointer", "random", "round-robin", "most-garbage-oracle")
 # ----------------------------------------------------------------------
 
 
+#: Dataclass fields excluded from canonical spec material, by class name.
+#: ``SimulationConfig.reachability`` selects *how* the collection frontier is
+#: computed, not *what* is simulated — both modes produce identical results
+#: (property-tested), so including it would split the result cache in two and
+#: invalidate every fingerprint minted before the field existed.
+_CANONICAL_EXCLUDED_FIELDS = {
+    "SimulationConfig": frozenset({"reachability"}),
+}
+
+
 def _canonical(value: Any) -> Any:
     """Render a value into a canonical JSON-compatible structure.
 
     Dataclasses are tagged with their class name so that two config types
     with coincidentally identical fields hash differently; mappings are
-    key-sorted by the JSON dump downstream.
+    key-sorted by the JSON dump downstream. Fields listed in
+    :data:`_CANONICAL_EXCLUDED_FIELDS` are omitted (they cannot affect
+    results, so they must not affect fingerprints).
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        excluded = _CANONICAL_EXCLUDED_FIELDS.get(type(value).__name__, ())
         rendered = {
             f.name: _canonical(getattr(value, f.name))
             for f in dataclasses.fields(value)
+            if f.name not in excluded
         }
         rendered["__class__"] = type(value).__name__
         return rendered

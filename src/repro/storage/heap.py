@@ -21,7 +21,6 @@ store through the narrow support API at the bottom of this class.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -34,6 +33,7 @@ from repro.storage.buffer import (
 from repro.storage.iostats import IOCategory, IOStats
 from repro.storage.object_model import ObjectId, ObjectKind, StoredObject
 from repro.storage.partition import Partition, PartitionId, Placement
+from repro.storage.traversal import breadth_first_order
 
 
 @dataclass(frozen=True)
@@ -131,6 +131,15 @@ class ObjectStore:
         # Running totals so db_size stays O(1); it is sampled at every event.
         self._allocated_bytes = 0
         self._physical_bytes = 0
+        # Local import: repro.gc.remembered lives in the gc package, whose
+        # __init__ imports the collector, which imports this module — a
+        # module-scope import here would close that cycle mid-initialisation.
+        from repro.gc.remembered import RememberedSetIndex
+
+        #: Incremental per-partition frontier index (roots, allocation pins,
+        #: distinct boundary sources) — kept in O(1) step by every mutator
+        #: below, consumed by ``partition_roots`` / ``external_source_pages``.
+        self.remembered = RememberedSetIndex()
 
     # ------------------------------------------------------------------
     # Application operations
@@ -163,6 +172,7 @@ class ObjectStore:
         self.objects[oid] = obj
         self.placements[oid] = placement
         self.unlinked.add(oid)
+        self.remembered.pin(placement.partition, oid)
         self._touch_object_pages(oid, IOCategory.APPLICATION, dirty=True)
 
         if pointers:
@@ -171,7 +181,8 @@ class ObjectStore:
                     self._validate_target(target)
                 obj.pointers[slot] = target
                 if target is not None:
-                    self.unlinked.discard(target)
+                    if target in self.unlinked:
+                        self._unpin(target)
                     self._remember_edge(oid, target)
         return oid
 
@@ -223,7 +234,8 @@ class ObjectStore:
             self.pointer_stores += 1
 
         if target is not None:
-            self.unlinked.discard(target)
+            if target in self.unlinked:
+                self._unpin(target)
             self._remember_edge(src, target)
 
         for victim in dies:
@@ -233,7 +245,9 @@ class ObjectStore:
         """Add an object to the database's persistent root set."""
         self._require(oid)
         self.roots.add(oid)
-        self.unlinked.discard(oid)
+        self.remembered.add_root(self.placements[oid].partition, oid)
+        if oid in self.unlinked:
+            self._unpin(oid)
 
     # ------------------------------------------------------------------
     # Transaction-rollback support
@@ -301,9 +315,12 @@ class ObjectStore:
             self._allocated_bytes -= placement.size
         for target in obj.targets():
             self._forget_edge(oid, target)
-        partition.drop_incoming(oid)
+        dropped = partition.drop_incoming(oid)
+        if dropped:
+            self.remembered.forget_sources(placement.partition, dropped)
         self.roots.discard(oid)
         self.unlinked.discard(oid)
+        self.remembered.drop_object(placement.partition, oid)
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -386,11 +403,18 @@ class ObjectStore:
         may themselves be garbage in other partitions — that conservatism is
         inherent to partitioned collection and produces realistic floating
         garbage.
+
+        Derived from the incremental index in O(partition roots + boundary):
+        the index partitions the global root / pin sets, and every
+        ``incoming`` key is an externally referenced resident (``forget``
+        prunes empty entries, reclamation drops entries of reclaimed
+        residents). ``reachability="full"`` recomputes the same set from a
+        whole-heap scan (:func:`repro.gc.remembered.full_scan_frontier`).
         """
-        partition = self.partitions[pid]
-        roots = self.roots & partition.residents
-        roots |= self.unlinked & partition.residents
-        roots |= partition.externally_referenced() & partition.residents
+        remembered = self.remembered
+        roots = set(remembered.roots_in(pid))
+        roots |= remembered.pins_in(pid)
+        roots.update(self.partitions[pid].incoming)
         return roots
 
     def intra_partition_targets(self, oid: ObjectId, pid: PartitionId) -> Iterable[ObjectId]:
@@ -437,15 +461,21 @@ class ObjectStore:
 
         These pages need a read-modify-write during collection because the
         objects they reference are relocated by compaction.
+
+        The index aggregates distinct sources per partition, so each source
+        object is visited once — not once per resident it references as the
+        per-target ``incoming`` dicts would require.
         """
         pages: set[PageId] = set()
-        for sources in self.partitions[pid].incoming.values():
-            for src in sources:
-                placement = self.placements.get(src)
-                if placement is None:
-                    continue
-                for index in placement.pages(self.config.page_size):
-                    pages.add((placement.partition, index))
+        page_size = self.config.page_size
+        placements = self.placements
+        for src in self.remembered.sources_in(pid):
+            placement = placements.get(src)
+            if placement is None:
+                continue
+            src_pid = placement.partition
+            for index in placement.pages(page_size):
+                pages.add((src_pid, index))
         return pages
 
     # ------------------------------------------------------------------
@@ -459,26 +489,12 @@ class ObjectStore:
     def reachable_from(self, roots: Iterable[ObjectId]) -> set[ObjectId]:
         """Full-database reachability from an arbitrary root set.
 
-        Breadth-first over the heap with the object table hoisted into a
-        local — the verification oracles call this over the whole database,
-        so per-edge cost dominates.
+        One whole-heap pass of the shared traversal helper
+        (:func:`~repro.storage.traversal.breadth_first_order`) — the
+        verification oracles and ``collect_global`` call this over the
+        entire database.
         """
-        objects = self.objects
-        seen: set[ObjectId] = set()
-        seen_add = seen.add
-        queue: deque[ObjectId] = deque()
-        queue_append = queue.append
-        for oid in roots:
-            if oid in objects and oid not in seen:
-                seen_add(oid)
-                queue_append(oid)
-        while queue:
-            obj = objects[queue.popleft()]
-            for target in obj.pointers.values():
-                if target is not None and target not in seen and target in objects:
-                    seen_add(target)
-                    queue_append(target)
-        return seen
+        return set(breadth_first_order(self.objects, roots))
 
     def check_death_annotations(self) -> set[ObjectId]:
         """Objects whose dead flag disagrees with true global reachability.
@@ -538,12 +554,19 @@ class ObjectStore:
         for index in range(first, last + 1):
             touch((pid, index), category, dirty=dirty)
 
+    def _unpin(self, oid: ObjectId) -> None:
+        """Drop ``oid``'s allocation pin (it became referenced or a root)."""
+        self.unlinked.discard(oid)
+        self.remembered.unpin(self.placements[oid].partition, oid)
+
     def _remember_edge(self, src: ObjectId, target: ObjectId) -> None:
         src_pid = self.partition_of(src)
         tgt_placement = self.placements.get(target)
         if tgt_placement is None or tgt_placement.partition == src_pid:
             return
-        self.partitions[tgt_placement.partition].remember(src, target)
+        tgt_pid = tgt_placement.partition
+        self.partitions[tgt_pid].remember(src, target)
+        self.remembered.remember_source(tgt_pid, src)
 
     def _forget_edge(self, src: ObjectId, target: ObjectId) -> None:
         tgt_placement = self.placements.get(target)
@@ -552,7 +575,9 @@ class ObjectStore:
         src_placement = self.placements.get(src)
         if src_placement is not None and src_placement.partition == tgt_placement.partition:
             return
-        self.partitions[tgt_placement.partition].forget(src, target)
+        tgt_pid = tgt_placement.partition
+        if self.partitions[tgt_pid].forget(src, target):
+            self.remembered.forget_source(tgt_pid, src)
 
     def _declare_dead(self, oid: ObjectId) -> None:
         obj = self.objects.get(oid)
@@ -583,7 +608,10 @@ class ObjectStore:
         # Sever remembered-set state in both directions.
         for target in obj.targets():
             self._forget_edge(oid, target)
-        self.partitions[pid].drop_incoming(oid)
+        dropped = self.partitions[pid].drop_incoming(oid)
+        if dropped:
+            self.remembered.forget_sources(pid, dropped)
         self.roots.discard(oid)
         self.unlinked.discard(oid)
+        self.remembered.drop_object(pid, oid)
         return obj.size

@@ -16,6 +16,7 @@ policies need:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.storage.object_model import ObjectId
 
@@ -132,28 +133,36 @@ class Partition:
         sources = self.incoming.setdefault(target, {})
         sources[source] = sources.get(source, 0) + 1
 
-    def forget(self, source: ObjectId, target: ObjectId) -> None:
+    def forget(self, source: ObjectId, target: ObjectId) -> bool:
         """Drop one remembered reference; silently ignores absent entries.
 
         Absent entries are normal: the store only records *external*
         references, and intra-partition pointers are never remembered.
+        Returns whether a reference was actually dropped, so the store can
+        keep its incremental frontier index
+        (:class:`~repro.gc.remembered.RememberedSetIndex`) in exact step.
         """
         sources = self.incoming.get(target)
         if sources is None:
-            return
+            return False
         count = sources.get(source)
         if count is None:
-            return
+            return False
         if count <= 1:
             del sources[source]
             if not sources:
                 del self.incoming[target]
         else:
             sources[source] = count - 1
+        return True
 
-    def drop_incoming(self, target: ObjectId) -> None:
-        """Remove all remembered references to ``target`` (it was reclaimed)."""
-        self.incoming.pop(target, None)
+    def drop_incoming(self, target: ObjectId) -> Optional[dict[ObjectId, int]]:
+        """Remove all remembered references to ``target`` (it was reclaimed).
+
+        Returns the dropped source → count mapping (``None`` when there was
+        none) so the caller can decrement its per-source aggregates.
+        """
+        return self.incoming.pop(target, None)
 
     def externally_referenced(self) -> set[ObjectId]:
         """Residents with at least one remembered external reference."""

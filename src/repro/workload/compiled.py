@@ -178,6 +178,10 @@ class CompiledTrace:
             raise ValueError(f"start_index must be >= 0, got {start_index}")
         if start_index:
             prefix = ops[:start_index]
+            if not isinstance(prefix, array):
+                # Zero-copy traces hold memoryviews, which slice to
+                # memoryviews and lack ``count``.
+                prefix = array("b", prefix.tobytes())
             ci = prefix.count(_OP_CREATE)
             wi = prefix.count(_OP_WRITE)
         else:
@@ -249,7 +253,7 @@ class CompiledTrace:
     #   magic "RPTC" | u16 version | u32 crc32-of-body | u64 body-length
     #   body:
     #     u32 n_strings, then per string: u32 utf8-length + bytes
-    #     9 columns, each: u8 typecode-ord + u64 byte-length + raw items
+    #     10 columns, each: u8 typecode-ord + u64 byte-length + raw items
     #
     # The CRC makes torn or truncated writes detectable; loaders raise
     # CompiledTraceError (callers such as TraceCache treat that as a miss).
@@ -273,12 +277,15 @@ class CompiledTrace:
             body += struct.pack("<I", len(raw))
             body += raw
         for name in self._COLUMNS:
-            column: array = getattr(self, name)
+            column = getattr(self, name)
+            # Zero-copy traces hold memoryviews (``format``) rather than
+            # arrays (``typecode``); both serialise identically.
+            typecode = getattr(column, "typecode", None) or column.format
             if sys.byteorder != "little":  # pragma: no cover - exotic hosts
-                column = array(column.typecode, column)
+                column = array(typecode, column)
                 column.byteswap()
             raw = column.tobytes()
-            body += struct.pack("<BQ", ord(column.typecode), len(raw))
+            body += struct.pack("<BQ", ord(typecode), len(raw))
             body += raw
         target.write(_MAGIC)
         target.write(
@@ -295,24 +302,56 @@ class CompiledTrace:
         if isinstance(source, (str, Path)):
             with open(source, "rb") as handle:
                 return cls.load(handle)
-        header = source.read(len(_MAGIC) + struct.calcsize("<HIQ"))
-        if len(header) < len(_MAGIC) + struct.calcsize("<HIQ"):
+        return cls.from_bytes(source.read())
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: Union[bytes, bytearray, memoryview],
+        *,
+        verify: bool = True,
+        zero_copy: bool = False,
+    ) -> "CompiledTrace":
+        """Decode a trace from an in-memory buffer.
+
+        Args:
+            data: The full binary encoding (:meth:`save`'s output). Trailing
+                bytes beyond the declared body length are tolerated —
+                shared-memory segments are page-size-rounded, so a mapped
+                buffer is usually slightly longer than the trace.
+            verify: Check the body CRC. Publishers validate before sharing a
+                segment, so workers attaching to one may skip the extra pass.
+            zero_copy: Build the numeric columns as ``memoryview`` casts
+                into ``data`` instead of copying into fresh ``array``
+                objects — the shared-memory handoff path, where every worker
+                reads one mapped copy of the columns. The caller must keep
+                ``data``'s buffer alive for the lifetime of the trace.
+                (Big-endian hosts fall back to copying: the on-disk format
+                is little-endian and a cast cannot byteswap.)
+        """
+        view = memoryview(data)
+        header_size = len(_MAGIC) + struct.calcsize("<HIQ")
+        if len(view) < header_size:
             raise CompiledTraceError("truncated compiled-trace header")
-        if header[: len(_MAGIC)] != _MAGIC:
+        if bytes(view[: len(_MAGIC)]) != _MAGIC:
             raise CompiledTraceError("not a compiled trace (bad magic)")
-        version, crc, body_len = struct.unpack_from("<HIQ", header, len(_MAGIC))
+        version, crc, body_len = struct.unpack_from("<HIQ", view, len(_MAGIC))
         if version != TRACE_FORMAT_VERSION:
             raise CompiledTraceError(
                 f"unsupported compiled-trace format version {version} "
                 f"(this build reads version {TRACE_FORMAT_VERSION})"
             )
-        body = source.read(body_len)
-        if len(body) != body_len or zlib.crc32(body) != crc:
+        if len(view) - header_size < body_len:
             raise CompiledTraceError("compiled trace body is truncated or corrupt")
+        body = view[header_size : header_size + body_len]
+        if verify and zlib.crc32(body) != crc:
+            raise CompiledTraceError("compiled trace body is truncated or corrupt")
+        if zero_copy and sys.byteorder != "little":  # pragma: no cover
+            zero_copy = False
 
         offset = 0
 
-        def take(count: int) -> bytes:
+        def take(count: int) -> memoryview:
             nonlocal offset
             chunk = body[offset : offset + count]
             if len(chunk) != count:
@@ -324,20 +363,25 @@ class CompiledTrace:
         strings = []
         for _ in range(n_strings):
             (length,) = struct.unpack("<I", take(4))
-            strings.append(take(length).decode("utf-8"))
+            strings.append(bytes(take(length)).decode("utf-8"))
         columns = []
         for name in cls._COLUMNS:
-            typecode_ord, raw_len = struct.unpack("<BQ", take(9))
-            column = array(chr(typecode_ord))
+            typecode_ord, raw_len = struct.unpack("<BQ", bytes(take(9)))
+            typecode = chr(typecode_ord)
+            itemsize = array(typecode).itemsize
             raw = take(raw_len)
-            if raw_len % column.itemsize:
+            if raw_len % itemsize:
                 raise CompiledTraceError(
                     f"column {name!r} has a partial trailing item"
                 )
-            column.frombytes(raw)
-            if sys.byteorder != "little":  # pragma: no cover - exotic hosts
-                column.byteswap()
-            columns.append(column)
+            if zero_copy:
+                columns.append(raw.cast(typecode))
+            else:
+                column = array(typecode)
+                column.frombytes(raw)
+                if sys.byteorder != "little":  # pragma: no cover - exotic hosts
+                    column.byteswap()
+                columns.append(column)
         ops, arg0, arg1 = columns[0], columns[1], columns[2]
         if not (len(ops) == len(arg0) == len(arg1)):
             raise CompiledTraceError("event columns disagree on length")

@@ -1,0 +1,159 @@
+"""Zero-copy trace handoff via POSIX shared memory.
+
+A parallel sweep replays the same few compiled traces in every worker
+process. Without sharing, each worker pays a disk read, a CRC pass and a
+full columnar decode per trace — and then holds its own private copy of
+columns that are immutable by construction. This module maps each trace's
+binary encoding (:meth:`repro.workload.compiled.CompiledTrace.save` format)
+into a :class:`multiprocessing.shared_memory.SharedMemory` segment **once
+per sweep**; workers attach and decode with
+:meth:`~repro.workload.compiled.CompiledTrace.from_bytes`'s ``zero_copy``
+mode, so the numeric columns are ``memoryview`` casts into the one shared
+mapping — no per-worker copy of the column data at all.
+
+Lifecycle:
+
+* the parent builds a :class:`SharedTraceArena`, publishes the traces it
+  wants to share, and passes ``arena.plan()`` (fingerprint → segment name)
+  to the pool initializer;
+* each worker calls :func:`attach_trace` per fingerprint on first use; the
+  attached segments are memoised for the life of the worker process;
+* the parent calls :meth:`SharedTraceArena.close` after the pool is done —
+  as the creator it unlinks every segment (workers' mappings stay valid
+  until they exit, per POSIX unlink semantics, but the names disappear).
+
+The handoff is an optimisation only: any failure to publish or attach
+falls back to the on-disk trace cache, which produces identical traces.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from multiprocessing import shared_memory
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.workload.compiled import CompiledTrace, CompiledTraceError
+
+#: Per-process arena sequence — combined with the pid it makes segment names
+#: unique across concurrent sweeps, so two arenas never race on a name.
+_ARENA_SEQ = itertools.count()
+
+
+class SharedTraceArena:
+    """Parent-side registry of shared-memory trace segments for one sweep.
+
+    Create, :meth:`publish` / :meth:`publish_file` each trace, hand
+    :meth:`plan` to the worker-pool initializer, and :meth:`close` when the
+    pool is gone. Segment names are namespaced by the arena's ``tag`` plus a
+    sequence number; the fingerprint → name mapping travels in the plan, so
+    names never need to be guessable.
+    """
+
+    def __init__(self, tag: str = "rptc") -> None:
+        self._tag = f"{tag}-{os.getpid()}-{next(_ARENA_SEQ)}"
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._names: dict[str, str] = {}
+        self._sequence = 0
+        self.bytes_shared = 0
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def publish(self, fingerprint: str, payload: bytes) -> Optional[str]:
+        """Map one trace's binary encoding into shared memory.
+
+        The payload is validated (magic, version, CRC, full decode headers)
+        *before* publishing, so workers can attach with ``verify=False``.
+        Returns the segment name, or ``None`` when the payload is not a
+        valid compiled trace or the platform refuses the allocation —
+        callers treat ``None`` as "use the disk path".
+        """
+        if fingerprint in self._names:
+            return self._names[fingerprint]
+        try:
+            CompiledTrace.from_bytes(payload, zero_copy=True)
+        except CompiledTraceError:
+            return None
+        name = f"{self._tag}-{self._sequence}"
+        self._sequence += 1
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=len(payload)
+            )
+        except OSError:  # pragma: no cover - exhausted /dev/shm, name race
+            return None
+        segment.buf[: len(payload)] = payload
+        self._segments[fingerprint] = segment
+        self._names[fingerprint] = name
+        self.bytes_shared += len(payload)
+        return name
+
+    def publish_file(self, fingerprint: str, path: Union[str, Path]) -> Optional[str]:
+        """Publish a trace straight from its on-disk cache entry."""
+        try:
+            payload = Path(path).read_bytes()
+        except OSError:
+            return None
+        return self.publish(fingerprint, payload)
+
+    def plan(self) -> dict[str, str]:
+        """Fingerprint → segment name mapping to ship to workers."""
+        return dict(self._names)
+
+    def close(self) -> None:
+        """Unlink every published segment (parent-side, after the pool)."""
+        for segment in self._segments.values():
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()
+        self._names.clear()
+
+
+#: Worker-side memo of attached segments. The SharedMemory objects must stay
+#: referenced as long as any zero-copy trace built over their buffers lives;
+#: memoising for the worker's lifetime guarantees that (and makes repeat
+#: attaches free).
+_ATTACHED: dict[str, shared_memory.SharedMemory] = {}
+
+
+def attach_trace(name: str) -> CompiledTrace:
+    """Attach to a published segment and decode it zero-copy.
+
+    Raises ``OSError`` when the segment does not exist (the publisher died
+    or already closed) and :class:`CompiledTraceError` on a malformed
+    payload; callers fall back to the disk cache on either.
+    """
+    segment = _ATTACHED.get(name)
+    if segment is None:
+        # No resource-tracker unregister dance is needed here: pool workers
+        # are children of the publishing parent and inherit its tracker (the
+        # tracker fd travels through both fork and spawn), so this attach's
+        # registration dedups against the parent's and the parent's unlink
+        # balances it exactly once.
+        segment = shared_memory.SharedMemory(name=name)
+        _ATTACHED[name] = segment
+    # The segment was CRC-verified at publish time; the buffer may be longer
+    # than the trace (page-size rounding), which from_bytes tolerates.
+    return CompiledTrace.from_bytes(segment.buf, verify=False, zero_copy=True)
+
+
+def detach_all() -> None:
+    """Close memoised worker-side mappings (test isolation hook).
+
+    A mapping whose zero-copy column views are still alive cannot be closed
+    (``BufferError``); it stays memoised so the interpreter never tries to
+    unmap memory a live trace still reads.
+    """
+    for name, segment in list(_ATTACHED.items()):
+        try:
+            segment.close()
+        except BufferError:
+            continue
+        except OSError:  # pragma: no cover - mapping already gone
+            pass
+        del _ATTACHED[name]

@@ -88,10 +88,20 @@ class TraceCacheStats:
     quarantined: int = 0
     #: Resolutions that bypassed the cache (uncacheable workload spec).
     uncacheable: int = 0
+    #: Resolutions answered zero-copy from a shared-memory segment.
+    shm_hits: int = 0
+    #: Traces this cache published into shared memory (parent side).
+    shm_published: int = 0
 
     @property
     def resolutions(self) -> int:
-        return self.memo_hits + self.disk_hits + self.builds + self.uncacheable
+        return (
+            self.memo_hits
+            + self.shm_hits
+            + self.disk_hits
+            + self.builds
+            + self.uncacheable
+        )
 
     @property
     def hit_rate(self) -> float:
@@ -99,7 +109,7 @@ class TraceCacheStats:
         total = self.resolutions
         if total == 0:
             return 0.0
-        return (self.memo_hits + self.disk_hits) / total
+        return (self.memo_hits + self.shm_hits + self.disk_hits) / total
 
     def as_metrics(self) -> dict:
         """Flat metric name → value dict (for the observability registry)."""
@@ -109,6 +119,8 @@ class TraceCacheStats:
             "builds": self.builds,
             "quarantined": self.quarantined,
             "uncacheable": self.uncacheable,
+            "shm_hits": self.shm_hits,
+            "shm_published": self.shm_published,
             "hit_rate": self.hit_rate,
         }
 
@@ -141,6 +153,8 @@ class TraceCache:
             self.root.mkdir(parents=True, exist_ok=True)
         self.memo_traces = memo_traces
         self._memo: OrderedDict[str, CompiledTrace] = OrderedDict()
+        #: Fingerprint → shared-memory segment name (see ``attach_shared``).
+        self._shared: dict[str, str] = {}
         self.stats = TraceCacheStats()
 
     # ------------------------------------------------------------------
@@ -172,6 +186,14 @@ class TraceCache:
             memo.move_to_end(key)
             self.stats.memo_hits += 1
             return hit
+
+        segment = self._shared.get(key)
+        if segment is not None:
+            trace = self._attach_shared(key, segment)
+            if trace is not None:
+                self.stats.shm_hits += 1
+                self._remember(key, trace)
+                return trace
 
         trace = self._load(key)
         if trace is not None:
@@ -212,8 +234,47 @@ class TraceCache:
             memo.popitem(last=False)
 
     # ------------------------------------------------------------------
+    # Shared-memory layer (worker side)
+    # ------------------------------------------------------------------
+
+    def attach_shared(self, mapping: dict[str, str]) -> None:
+        """Register published shared-memory segments (fingerprint → name).
+
+        The parallel engine's pool initializer passes the parent's
+        :meth:`~repro.workload.shm.SharedTraceArena.plan` here; resolutions
+        of a registered fingerprint then decode zero-copy out of the shared
+        mapping instead of reading the on-disk entry. Purely an
+        optimisation: any attach failure silently degrades to the disk
+        layer, which holds an identical trace.
+        """
+        self._shared.update(mapping)
+
+    def _attach_shared(self, key: str, segment: str) -> Optional[CompiledTrace]:
+        from repro.workload.shm import attach_trace
+
+        try:
+            return attach_trace(segment)
+        except (OSError, CompiledTraceError, ValueError):
+            # Publisher gone or payload unusable — stop consulting this
+            # segment and fall back to disk.
+            del self._shared[key]
+            return None
+
+    # ------------------------------------------------------------------
     # On-disk layer
     # ------------------------------------------------------------------
+
+    def entry_path(self, key: str) -> Optional[Path]:
+        """Path of the on-disk entry for ``key`` if it exists (else None).
+
+        The parallel engine publishes shared segments straight from these
+        files, so the bytes workers map are exactly the bytes they would
+        have read.
+        """
+        if self.root is None:
+            return None
+        path = self._path(key)
+        return path if path.exists() else None
 
     def _load(self, key: str) -> Optional[CompiledTrace]:
         if self.root is None:

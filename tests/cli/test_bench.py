@@ -19,12 +19,22 @@ def quick_doc():
     return run_suite(quick=True, repeats=1)
 
 
+def _set_metric(doc, metric, value):
+    """Assign a (possibly nested) dotted gated metric in a bench document."""
+    node = doc["results"]
+    *path, leaf = metric.split(".")
+    for part in path:
+        node = node[part]
+    node[leaf] = value
+
+
 def test_suite_document_shape(quick_doc):
     assert quick_doc["format"] == BENCH_FORMAT
     assert quick_doc["scale"] == "quick"
     for name in (
         "figure1_cell",
         "traverse_replay",
+        "collection_throughput",
         "trace_compile_load",
         "sweep_trace_cache",
     ):
@@ -32,6 +42,9 @@ def test_suite_document_shape(quick_doc):
     assert quick_doc["results"]["figure1_cell"]["events_per_s"] > 0
     assert quick_doc["results"]["traverse_replay"]["events_per_s"] > 0
     assert quick_doc["results"]["trace_compile_load"]["load_s"] >= 0
+    throughput = quick_doc["results"]["collection_throughput"]
+    assert throughput["remembered"]["collections_per_s"] > 0
+    assert throughput["summaries_match"] is True
     # Sweeping 3 specs over 1 seed shares one trace: a single build.
     assert quick_doc["results"]["sweep_trace_cache"]["trace_builds"] == 1
 
@@ -45,14 +58,14 @@ def test_regression_gate(quick_doc):
     # Identical runs never regress.
     assert check_regression(quick_doc, quick_doc, 0.30) == []
 
-    # A big drop in any gated metric trips the gate.
-    slow = json.loads(json.dumps(quick_doc))
-    metric = GATED_METRICS[0]
-    section, field = metric.split(".")
-    slow["results"][section][field] = quick_doc["results"][section][field] * 10
-    problems = check_regression(quick_doc, slow, 0.30)
-    assert len(problems) == 1
-    assert metric in problems[0]
+    # A big drop in any gated metric trips the gate — including the
+    # nested remembered-collections metric.
+    for metric in GATED_METRICS:
+        slow = json.loads(json.dumps(quick_doc))
+        _set_metric(slow, metric, 10**12)
+        problems = check_regression(quick_doc, slow, 0.30)
+        assert len(problems) == 1
+        assert metric in problems[0]
 
     # Mismatched scales are not comparable.
     standard = dict(quick_doc, scale="standard")
@@ -71,8 +84,7 @@ def test_bench_main_writes_json_and_gates(tmp_path, quick_doc):
     # pass branch must not depend on run-to-run wall-clock stability.)
     easy = json.loads(json.dumps(doc))
     for metric in GATED_METRICS:
-        section, field = metric.split(".")
-        easy["results"][section][field] = 1.0
+        _set_metric(easy, metric, 1.0)
     easy_baseline = tmp_path / "easy.json"
     easy_baseline.write_text(json.dumps(easy))
     out2 = tmp_path / "BENCH_test2.json"
@@ -92,8 +104,7 @@ def test_bench_main_writes_json_and_gates(tmp_path, quick_doc):
     # Gate against an impossible baseline: fails.
     impossible = json.loads(json.dumps(doc))
     for metric in GATED_METRICS:
-        section, field = metric.split(".")
-        impossible["results"][section][field] = 10**12
+        _set_metric(impossible, metric, 10**12)
     baseline = tmp_path / "impossible.json"
     baseline.write_text(json.dumps(impossible))
     code = bench_main(
@@ -127,6 +138,7 @@ def test_bench_telemetry_writes_suite_and_case_files(tmp_path):
     assert "bench_suite.jsonl" in names
     assert "bench_figure1_cell.jsonl" in names
     assert "bench_traverse_replay.jsonl" in names
+    assert "bench_collection_throughput.jsonl" in names
     assert "bench_trace_compile_load.jsonl" in names
     assert any(n.startswith("engine_") for n in names)
     # Readable via the metrics subcommand.

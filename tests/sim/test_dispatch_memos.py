@@ -1,0 +1,101 @@
+"""Regression: the simulator's per-class dispatch memos must stay bounded.
+
+The dispatch tables (``_EVENT_HANDLERS``, ``_RUN_KINDS``, ``_MUTATING_MEMO``)
+are keyed by event *class* objects and memoise lazily for subclasses. Before
+the bound, every dynamically minted event class ever dispatched was pinned
+for the life of the process — a real leak for long-lived hosts and for test
+suites that mint classes. The bound evicts dynamic entries at the cap while
+never touching the ten builtin classes.
+"""
+
+import pytest
+
+from repro.core.fixed import FixedRatePolicy
+from repro.events import AccessEvent, CreateEvent, IdleEvent
+from repro.sim import simulator
+from repro.sim.simulator import (
+    _BUILTIN_EVENT_CLASSES,
+    _DYNAMIC_CLASS_LIMIT,
+    _EVENT_HANDLERS,
+    _MUTATING_MEMO,
+    _RUN_KINDS,
+    Simulation,
+    SimulationConfig,
+)
+from repro.storage.heap import StoreConfig
+
+TINY_STORE = StoreConfig(page_size=2048, partition_pages=4, buffer_pages=4)
+
+
+@pytest.fixture(autouse=True)
+def _scrub_dynamic_entries():
+    """Leave the module-level tables exactly as the suite found them."""
+    yield
+    for table in (_EVENT_HANDLERS, _RUN_KINDS, _MUTATING_MEMO):
+        for cls in [c for c in table if c not in _BUILTIN_EVENT_CLASSES]:
+            del table[cls]
+
+
+def _mint(base, count):
+    return [type(f"{base.__name__}Minted{i}", (base,), {}) for i in range(count)]
+
+
+def test_handler_memo_is_bounded_and_keeps_builtins():
+    minted = _mint(AccessEvent, _DYNAMIC_CLASS_LIMIT * 2)
+    for cls in minted:
+        assert simulator._resolve_handler(cls) is _EVENT_HANDLERS[AccessEvent]
+    assert len(_EVENT_HANDLERS) <= _DYNAMIC_CLASS_LIMIT + len(_BUILTIN_EVENT_CLASSES)
+    assert _BUILTIN_EVENT_CLASSES <= set(_EVENT_HANDLERS)
+    # Eviction is only a cache flush: a flushed class re-resolves correctly.
+    assert simulator._resolve_handler(minted[0]) is _EVENT_HANDLERS[AccessEvent]
+
+
+def test_run_loop_memos_stay_bounded_across_a_real_run():
+    """A single run over far more dynamic classes than the cap leaves every
+    memo bounded — and the events still dispatch to the right handlers."""
+    total = _DYNAMIC_CLASS_LIMIT + 50
+
+    def trace():
+        yield CreateEvent(1, 50)
+        for cls in _mint(IdleEvent, total):
+            yield cls()
+        for cls in _mint(AccessEvent, total):
+            yield cls(oid=1)
+
+    sim = Simulation(
+        policy=FixedRatePolicy(10**9),
+        config=SimulationConfig(store=TINY_STORE, preamble_collections=0),
+    )
+    result = sim.run(trace())
+    # Idle ticks are quiescence, not database events; only the create and
+    # the accesses count.
+    assert result.summary.events == 1 + total
+    for table in (_EVENT_HANDLERS, _RUN_KINDS, _MUTATING_MEMO):
+        assert len(table) <= _DYNAMIC_CLASS_LIMIT + len(_BUILTIN_EVENT_CLASSES)
+    assert _BUILTIN_EVENT_CLASSES <= set(_EVENT_HANDLERS)
+    assert all(_RUN_KINDS[cls] == 0 for cls in _BUILTIN_EVENT_CLASSES
+               if cls not in (simulator.PhaseMarkerEvent, simulator.IdleEvent))
+
+
+def test_mutating_memo_bounded_with_redo_log():
+    """The auto-commit path memoises mutability per class; minted mutating
+    classes are classified correctly and still evicted at the cap."""
+    total = _DYNAMIC_CLASS_LIMIT + 20
+
+    def trace():
+        oid = 1
+        for cls in _mint(CreateEvent, total):
+            yield cls(oid, 50)
+            oid += 1
+
+    sim = Simulation(
+        policy=FixedRatePolicy(10**9),
+        config=SimulationConfig(
+            store=StoreConfig(page_size=2048, partition_pages=64, buffer_pages=8),
+            preamble_collections=0,
+            enable_redo_log=True,
+        ),
+    )
+    result = sim.run(trace())
+    assert len(result.store.objects) == total
+    assert len(_MUTATING_MEMO) <= _DYNAMIC_CLASS_LIMIT

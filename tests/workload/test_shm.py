@@ -1,0 +1,215 @@
+"""Zero-copy shared-memory trace handoff.
+
+The contract: a trace decoded out of a shared segment (or any buffer, via
+``from_bytes``'s zero-copy mode) is event-for-event identical to the
+saved original, the cache's shared layer is consulted before disk and
+degrades silently to it, and a warm parallel sweep publishes its on-disk
+traces once and produces byte-identical results.
+"""
+
+import pickle
+
+import pytest
+
+from repro.events import AccessEvent
+from repro.oo7.config import TINY
+from repro.sim.spec import WorkloadSpec, build_workload
+from repro.workload.compiled import (
+    CompiledTrace,
+    CompiledTraceError,
+    compile_trace,
+)
+from repro.workload.shm import SharedTraceArena, attach_trace, detach_all
+from repro.workload.trace_cache import TraceCache, trace_fingerprint
+
+WL = WorkloadSpec("oo7", {"config": TINY})
+
+
+@pytest.fixture(autouse=True)
+def _isolate_worker_memo():
+    yield
+    detach_all()
+
+
+def _trace_bytes(trace) -> bytes:
+    import io
+
+    buffer = io.BytesIO()
+    trace.save(buffer)
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------- from_bytes
+
+
+def test_from_bytes_round_trips():
+    trace = compile_trace(build_workload(WL, 0))
+    payload = _trace_bytes(trace)
+    for zero_copy in (False, True):
+        decoded = CompiledTrace.from_bytes(payload, zero_copy=zero_copy)
+        assert list(decoded) == list(trace)
+
+
+def test_from_bytes_tolerates_trailing_bytes():
+    # Shared-memory segments are page-size-rounded, so the mapped buffer is
+    # longer than the trace. The decoder must stop at the declared body end.
+    trace = compile_trace(build_workload(WL, 0))
+    payload = _trace_bytes(trace) + b"\x00" * 4096
+    decoded = CompiledTrace.from_bytes(payload, zero_copy=True)
+    assert list(decoded) == list(trace)
+
+
+def test_from_bytes_rejects_corruption():
+    trace = compile_trace([AccessEvent(oid=1)])
+    good = _trace_bytes(trace)
+    # Corrupt the stored CRC (header bytes 6..10): the body stays
+    # structurally valid, so only the checksum pass can notice.
+    payload = bytearray(good)
+    payload[6] ^= 0xFF
+    with pytest.raises(CompiledTraceError):
+        CompiledTrace.from_bytes(bytes(payload))
+    # verify=False skips the CRC: publishers validate before sharing, so
+    # workers may trust the segment.
+    assert list(CompiledTrace.from_bytes(bytes(payload), verify=False)) == list(trace)
+    # Structural damage is caught even without the CRC pass.
+    with pytest.raises(CompiledTraceError):
+        CompiledTrace.from_bytes(good[:-3], verify=False)
+    with pytest.raises(CompiledTraceError):
+        CompiledTrace.from_bytes(b"not a trace")
+    with pytest.raises(CompiledTraceError):
+        CompiledTrace.from_bytes(good[:10])
+
+
+def test_zero_copy_replay_resumes_mid_trace():
+    # replay(start_index) exercises the memoryview prefix-count path.
+    trace = compile_trace(build_workload(WL, 0))
+    decoded = CompiledTrace.from_bytes(_trace_bytes(trace), zero_copy=True)
+    offset = len(trace) // 2
+    assert list(decoded.replay(offset)) == list(trace)[offset:]
+
+
+def test_zero_copy_trace_saves_and_sizes():
+    trace = compile_trace(build_workload(WL, 0))
+    payload = _trace_bytes(trace)
+    decoded = CompiledTrace.from_bytes(payload, zero_copy=True)
+    assert decoded.byte_size() == trace.byte_size()
+    assert _trace_bytes(decoded) == payload
+
+
+# ---------------------------------------------------------------- arena
+
+
+def test_arena_publish_attach_round_trip():
+    trace = compile_trace(build_workload(WL, 0))
+    arena = SharedTraceArena()
+    try:
+        name = arena.publish("fp", _trace_bytes(trace))
+        assert name is not None
+        assert arena.plan() == {"fp": name}
+        # Republishing the same fingerprint reuses the segment.
+        assert arena.publish("fp", _trace_bytes(trace)) == name
+        assert len(arena) == 1
+        attached = attach_trace(name)
+        assert list(attached) == list(trace)
+        # The fixture detaches after this frame's views are gone.
+        del attached
+    finally:
+        arena.close()
+    assert arena.plan() == {}
+
+
+def test_arena_rejects_invalid_payloads():
+    arena = SharedTraceArena()
+    try:
+        assert arena.publish("bad", b"definitely not a trace") is None
+        assert arena.plan() == {}
+    finally:
+        arena.close()
+
+
+def test_publish_file_missing_path_degrades(tmp_path):
+    arena = SharedTraceArena()
+    try:
+        assert arena.publish_file("fp", tmp_path / "absent.trace") is None
+    finally:
+        arena.close()
+
+
+def test_attach_unknown_segment_raises():
+    with pytest.raises(OSError):
+        attach_trace("rptc-does-not-exist")
+
+
+# ---------------------------------------------------------------- cache layer
+
+
+def test_cache_resolves_from_shared_segment(tmp_path):
+    parent = TraceCache(tmp_path)
+    parent.get_or_build(WL, 0)  # build + write the on-disk entry
+    key = trace_fingerprint(WL, 0)
+    entry = parent.entry_path(key)
+    assert entry is not None
+
+    arena = SharedTraceArena()
+    try:
+        assert arena.publish_file(key, entry) is not None
+        # A "worker" cache with the plan resolves zero-copy, before disk.
+        worker = TraceCache(tmp_path)
+        worker.attach_shared(arena.plan())
+        trace = worker.get_or_build(WL, 0)
+        assert worker.stats.shm_hits == 1
+        assert worker.stats.disk_hits == 0
+        assert worker.stats.builds == 0
+        assert list(trace) == list(parent.get_or_build(WL, 0))
+        # Second resolution comes from the memo, not another attach.
+        worker.get_or_build(WL, 0)
+        assert worker.stats.memo_hits == 1
+        assert worker.stats.shm_hits == 1
+        del trace, worker
+    finally:
+        arena.close()
+
+
+def test_cache_degrades_to_disk_when_segment_vanishes(tmp_path):
+    cache = TraceCache(tmp_path)
+    cache.get_or_build(WL, 0)
+    key = trace_fingerprint(WL, 0)
+
+    worker = TraceCache(tmp_path)
+    worker.attach_shared({key: "rptc-unpublished-segment"})
+    trace = worker.get_or_build(WL, 0)
+    assert worker.stats.shm_hits == 0
+    assert worker.stats.disk_hits == 1
+    assert list(trace) == list(cache.get_or_build(WL, 0))
+    # The dead mapping was dropped: later misses go straight to disk.
+    assert worker._shared == {}
+
+
+def test_entry_path_none_without_disk_layer():
+    assert TraceCache(None).entry_path("ab" * 32) is None
+
+
+# ---------------------------------------------------------------- simulation
+
+
+def test_simulation_from_shared_trace_is_byte_identical(tmp_path):
+    from repro.experiments.common import oo7_spec
+    from repro.sim.spec import PolicySpec
+    from repro.sim.simulator import Simulation
+
+    spec = oo7_spec(
+        PolicySpec("fixed", {"overwrites_per_collection": 40.0}), TINY, 2
+    )
+
+    def run(trace):
+        policy, _, selection = spec.resolve(0)
+        sim = Simulation(policy=policy, selection=selection, config=spec.sim)
+        return pickle.dumps(sim.run(trace).summary)
+
+    trace = compile_trace(build_workload(spec.workload, 0))
+    arena = SharedTraceArena()
+    try:
+        name = arena.publish("fp", _trace_bytes(trace))
+        assert run(attach_trace(name)) == run(trace)
+    finally:
+        arena.close()
