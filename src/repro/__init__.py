@@ -83,15 +83,27 @@ from repro.sim import (
 )
 from repro.storage import IOCategory, IOStats, ObjectKind, ObjectStore, StoreConfig
 from repro.tx import Transaction, TransactionError, TransactionManager
+# Note: ``repro.WorkloadSpec`` is the declarative registry-key spec from
+# ``repro.sim.spec`` (imported above); the *protocol* of the same name lives
+# at ``repro.workload.WorkloadSpec``.
 from repro.workload import (
     CompiledTrace,
+    GrammarWorkload,
     Oo7Application,
+    PresetWorkload,
     SyntheticPhase,
     SyntheticWorkload,
+    TenantMix,
+    TenantMixConfig,
+    TenantSpec,
     TraceCache,
     TransactionalSpec,
     TransactionalWorkload,
+    WorkloadConfig,
     compile_trace,
+    make_preset,
+    make_profile,
+    tenant_mix,
     trace_stats,
 )
 
@@ -117,6 +129,7 @@ __all__ = [
     "FgsHbEstimator",
     "FixedRatePolicy",
     "GarbageEstimator",
+    "GrammarWorkload",
     "IOCategory",
     "IOStats",
     "MostGarbageOracleSelection",
@@ -131,6 +144,7 @@ __all__ = [
     "PartitionHeuristicPolicy",
     "PartitionSelectionPolicy",
     "PolicySpec",
+    "PresetWorkload",
     "RandomSelection",
     "RatePolicy",
     "ResultCache",
@@ -152,6 +166,9 @@ __all__ = [
     "SyntheticPhase",
     "SyntheticWorkload",
     "TINY",
+    "TenantMix",
+    "TenantMixConfig",
+    "TenantSpec",
     "TimeBase",
     "TraceCache",
     "Transaction",
@@ -161,16 +178,20 @@ __all__ = [
     "TransactionalWorkload",
     "Trigger",
     "UpdatedPointerSelection",
+    "WorkloadConfig",
     "WorkloadSpec",
     "build_database",
     "compile_trace",
     "load_fault_plan",
     "make_estimator",
+    "make_preset",
+    "make_profile",
     "make_selection_policy",
     "run_crash_recovery_drill",
     "run_experiment",
     "run_experiment_batch",
     "run_one",
     "run_seeds",
+    "tenant_mix",
     "trace_stats",
 ]

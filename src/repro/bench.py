@@ -13,6 +13,9 @@ Tracks the engine's performance trajectory with a standard suite:
   save/load, demonstrating the compiled-trace speedup.
 * ``sweep_trace_cache`` — a small multi-spec sweep through the trace
   cache, reporting builds and hit rates.
+* ``multi_tenant_replay`` — replay throughput (events/s) on an
+  interleaved 4-tenant grammar trace, the fleet subsystem's
+  representative cost.
 
 Results land in ``BENCH_<date>.json`` (see ``--out``)::
 
@@ -64,6 +67,7 @@ GATED_METRICS = (
     "figure1_cell.events_per_s",
     "traverse_replay.events_per_s",
     "collection_throughput.remembered.collections_per_s",
+    "multi_tenant_replay.events_per_s",
 )
 
 
@@ -328,6 +332,57 @@ def bench_sweep_trace_cache(quick: bool, repeats: int, telemetry=None) -> dict:
     }
 
 
+def bench_multi_tenant_replay(quick: bool, repeats: int, telemetry=None) -> dict:
+    """Replay throughput on an interleaved 4-tenant grammar trace.
+
+    The fleet subsystem's representative cost: four bundled tenant
+    profiles (OLTP churn, bulk load, read-mostly browse, hot-key skew)
+    interleaved by :class:`~repro.workload.tenants.TenantMix` into one
+    trace, generated once outside the timed region and replayed under a
+    fixed-rate policy on the fleet store geometry.
+    """
+    from repro.fleet import _default_sim_config
+    from repro.sim.simulator import Simulation
+    from repro.sim.spec import PolicySpec, build_policy
+    from repro.workload.tenants import TenantMix, tenant_mix
+
+    scenario = tenant_mix(
+        ["oltp-churn", "bulk-load", "read-browse", "hot-key-skew"],
+        scale=0.5 if quick else 2.0,
+    )
+    events = list(TenantMix(scenario, seed=0).events())
+    sim_config = _default_sim_config()
+    policy_spec = PolicySpec("fixed", {"overwrites_per_collection": 40.0})
+
+    def replay():
+        sim = Simulation(policy=build_policy(policy_spec, 0), config=sim_config)
+        return sim.run(events).summary.collections
+
+    wall, collections = _best_of(repeats, replay)
+    if telemetry is not None:
+        from repro.obs.telemetry import RunTelemetry
+
+        tel = RunTelemetry(
+            Path(telemetry) / "bench_multi_tenant_replay.jsonl",
+            kind="bench",
+            label="multi_tenant_replay",
+            seed=0,
+        )
+        sim = Simulation(
+            policy=build_policy(policy_spec, 0), config=sim_config, obs=tel
+        )
+        with tel.span("replay", events=len(events), tenants=len(scenario.tenants)):
+            sim.run(events)
+        tel.close()
+    return {
+        "wall_s": round(wall, 4),
+        "events": len(events),
+        "tenants": len(scenario.tenants),
+        "collections": collections,
+        "events_per_s": round(len(events) / wall, 1),
+    }
+
+
 #: The standard suite, in execution order.
 SUITE = (
     ("figure1_cell", bench_figure1_cell),
@@ -335,6 +390,7 @@ SUITE = (
     ("collection_throughput", bench_collection_throughput),
     ("trace_compile_load", bench_trace_compile_load),
     ("sweep_trace_cache", bench_sweep_trace_cache),
+    ("multi_tenant_replay", bench_multi_tenant_replay),
 )
 
 
@@ -458,6 +514,12 @@ def _format_report(doc: dict) -> str:
         f"  sweep_trace_cache:  {swp['wall_s']:.3f}s for {swp['runs']} runs, "
         f"{swp['trace_builds']} trace builds, "
         f"hit rate {swp['trace_hit_rate'] * 100:.0f}%"
+    )
+    mtr = r["multi_tenant_replay"]
+    lines.append(
+        f"  multi_tenant_replay: {mtr['wall_s']:.3f}s "
+        f"({mtr['events_per_s']:,.0f} events/s, {mtr['tenants']} tenants, "
+        f"{mtr['collections']} collections)"
     )
     return "\n".join(lines)
 

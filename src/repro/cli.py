@@ -36,6 +36,10 @@ exponential backoff, ``--run-timeout S`` bounds each run's wall clock, and
 are quarantined into the per-setting statistics (the batch always
 completes with partial results).
 
+``python -m repro fleet`` sweeps grammar-driven multi-tenant scenario
+grids — (grammar × tenants × seeds × policies) — through the same engine
+and caches (see :mod:`repro.fleet`).
+
 Observability: ``--telemetry DIR`` writes one JSON-lines telemetry file
 per simulated run (per-collection GC timeline, metrics snapshot, phase
 spans) plus one engine-level file per batch; ``python -m repro metrics
@@ -319,6 +323,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.obs.report import main as metrics_main
 
         return metrics_main(raw[1:])
+    if raw and raw[0] == "fleet":
+        from repro.fleet import main as fleet_main
+
+        return fleet_main(raw[1:])
 
     args = _build_parser().parse_args(raw)
 

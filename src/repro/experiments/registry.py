@@ -281,6 +281,16 @@ def _ablation_selection(seeds, options: RunOptions) -> str:
     )
 
 
+@experiment(
+    "fleet-demo",
+    "grammar-driven multi-tenant fleet: tiny 2-tenant × 2-policy grid",
+)
+def _fleet_demo(seeds, options: RunOptions) -> str:
+    from repro.fleet import run_demo
+
+    return run_demo(seeds, options.engine_kwargs())
+
+
 @experiment("ablation-weight", "§2.3 SAGA slope Weight")
 def _ablation_weight(seeds, options: RunOptions) -> str:
     from repro.experiments.ablations import (

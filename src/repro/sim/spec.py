@@ -21,11 +21,10 @@ policies/workloads/selections under fresh keys with :func:`register_policy`,
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping, Optional
+from typing import Any, Callable, Iterable, Mapping, Optional, Union
 
+from repro.canonical import CANONICAL_EXCLUDED_FIELDS, canonical_value
 from repro.core.estimators import make_estimator
 from repro.core.fixed import (
     AllocationRatePolicy,
@@ -41,6 +40,8 @@ from repro.gc.selection import PartitionSelectionPolicy, make_selection_policy
 from repro.oo7.config import OO7Config
 from repro.sim.simulator import SimulationConfig
 from repro.workload.application import Oo7Application
+from repro.workload.grammar import GrammarWorkload, WorkloadConfig
+from repro.workload.tenants import TenantMix, TenantMixConfig
 from repro.workload.transactional import TransactionalSpec, TransactionalWorkload
 
 # ----------------------------------------------------------------------
@@ -237,6 +238,50 @@ def _build_transactional(
 register_workload("transactional", _build_transactional)
 
 
+def _build_grammar(
+    seed: int, config: Union[WorkloadConfig, Mapping[str, Any]]
+) -> Iterable[TraceEvent]:
+    """``grammar``: a declarative :class:`~repro.workload.grammar.WorkloadConfig`.
+
+    ``config`` may be the dataclass or its ``to_dict()`` form (so specs
+    loaded from JSON files resolve without reconstruction). Both canonicalise
+    to different material — pass the dataclass for fingerprint stability
+    against configs built in code.
+    """
+    if not isinstance(config, WorkloadConfig):
+        config = WorkloadConfig.from_dict(dict(config))
+    return GrammarWorkload(config, seed=seed).events()
+
+
+register_workload("grammar", _build_grammar)
+
+
+def _build_tenant_mix(
+    seed: int, config: Union[TenantMixConfig, Mapping[str, Any]]
+) -> Iterable[TraceEvent]:
+    """``tenant-mix``: an interleaved multi-tenant scenario."""
+    if not isinstance(config, TenantMixConfig):
+        config = TenantMixConfig.from_dict(dict(config))
+    return TenantMix(config, seed=seed).events()
+
+
+register_workload("tenant-mix", _build_tenant_mix)
+
+
+def _build_preset(
+    seed: int, name: str, scale: float = 1.0, initial_clusters: int = 16
+) -> Iterable[TraceEvent]:
+    """``preset``: a named synthetic preset from :mod:`repro.workload.presets`."""
+    from repro.workload.presets import PresetWorkload
+
+    return PresetWorkload(
+        name, scale=scale, seed=seed, initial_clusters=initial_clusters
+    ).events()
+
+
+register_workload("preset", _build_preset)
+
+
 def _selection_builder(name: str) -> SelectionBuilder:
     def build(seed: int) -> PartitionSelectionPolicy:
         return make_selection_policy(name, seed=seed)
@@ -252,47 +297,11 @@ for _name in ("updated-pointer", "random", "round-robin", "most-garbage-oracle")
 # Canonical material for content addressing
 # ----------------------------------------------------------------------
 
-
-#: Dataclass fields excluded from canonical spec material, by class name.
-#: ``SimulationConfig.reachability`` selects *how* the collection frontier is
-#: computed, not *what* is simulated — both modes produce identical results
-#: (property-tested), so including it would split the result cache in two and
-#: invalidate every fingerprint minted before the field existed.
-_CANONICAL_EXCLUDED_FIELDS = {
-    "SimulationConfig": frozenset({"reachability"}),
-}
-
-
-def _canonical(value: Any) -> Any:
-    """Render a value into a canonical JSON-compatible structure.
-
-    Dataclasses are tagged with their class name so that two config types
-    with coincidentally identical fields hash differently; mappings are
-    key-sorted by the JSON dump downstream. Fields listed in
-    :data:`_CANONICAL_EXCLUDED_FIELDS` are omitted (they cannot affect
-    results, so they must not affect fingerprints).
-    """
-    if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        excluded = _CANONICAL_EXCLUDED_FIELDS.get(type(value).__name__, ())
-        rendered = {
-            f.name: _canonical(getattr(value, f.name))
-            for f in dataclasses.fields(value)
-            if f.name not in excluded
-        }
-        rendered["__class__"] = type(value).__name__
-        return rendered
-    if isinstance(value, enum.Enum):
-        return {"__enum__": type(value).__name__, "value": value.value}
-    if isinstance(value, Mapping):
-        return {str(key): _canonical(val) for key, val in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_canonical(item) for item in value]
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    raise TypeError(
-        f"value {value!r} of type {type(value).__name__} cannot be part of a "
-        "cacheable experiment spec (use plain data, dataclasses, or enums)"
-    )
+# The canonicaliser lives in :mod:`repro.canonical` (it moved there so
+# workload modules can use it without importing this module, which imports
+# them). These aliases keep the long-standing local names working.
+_CANONICAL_EXCLUDED_FIELDS = CANONICAL_EXCLUDED_FIELDS
+_canonical = canonical_value
 
 
 def spec_material(spec: ExperimentSpec, seed: Optional[int] = None) -> dict:

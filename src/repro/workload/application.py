@@ -59,6 +59,16 @@ class Oo7Application:
         self.rng = random.Random(self.seed)
         self.graph = Oo7Graph(self.config, rng=self.rng)
 
+    def canonical_material(self) -> dict:
+        """Content-addressing material (:class:`repro.workload.base.WorkloadSpec`)."""
+        return {
+            "workload": "oo7",
+            "config": self.config,
+            "delete_fraction": self.delete_fraction,
+            "doc_churn_fraction": self.doc_churn_fraction,
+            "seed": self.seed,
+        }
+
     @property
     def phase_names(self) -> tuple[str, ...]:
         if self.doc_churn_fraction > 0:

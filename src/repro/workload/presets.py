@@ -14,7 +14,10 @@ multiplies every phase's operation count.
 
 from __future__ import annotations
 
-from repro.workload.synthetic import SyntheticPhase
+import warnings
+from typing import Iterator
+
+from repro.workload.synthetic import SyntheticPhase, SyntheticWorkload
 
 
 def _scaled(operations: int, scale: float) -> int:
@@ -139,12 +142,80 @@ PRESETS = {
 }
 
 
-def make_preset(name: str, scale: float = 1.0) -> list[SyntheticPhase]:
-    """Instantiate a preset by name."""
-    try:
-        factory = PRESETS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
-        ) from None
-    return factory(scale=scale)
+class PresetWorkload(SyntheticWorkload):
+    """A named preset as a full workload (the unified-protocol form).
+
+    This is what :func:`make_preset` now returns. It *is* a
+    :class:`~repro.workload.synthetic.SyntheticWorkload` — same ``events()``,
+    same canonical material, so a preset and the equivalent hand-built
+    synthetic workload share one trace fingerprint and cache entry.
+
+    For compatibility with the historical ``make_preset`` contract (a bare
+    ``list[SyntheticPhase]``), the instance also supports iteration,
+    indexing and ``len`` over its phases — each such use emits a
+    :class:`DeprecationWarning`; pass the workload itself (or read
+    ``.phases``) instead.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scale: float = 1.0,
+        seed: int = 0,
+        initial_clusters: int = 16,
+    ) -> None:
+        try:
+            factory = PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+            ) from None
+        super().__init__(
+            factory(scale=scale), seed=seed, initial_clusters=initial_clusters
+        )
+        self.preset_name = name
+        self.scale = scale
+
+    # ------------------------------------------------- deprecated list shim
+
+    def _warn_list_use(self) -> None:
+        warnings.warn(
+            "treating make_preset(...) as a bare list of phases is "
+            "deprecated; it now returns a PresetWorkload — use it directly "
+            "or read its .phases attribute",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __iter__(self) -> Iterator[SyntheticPhase]:
+        self._warn_list_use()
+        return iter(self.phases)
+
+    def __len__(self) -> int:
+        self._warn_list_use()
+        return len(self.phases)
+
+    def __getitem__(self, index):
+        self._warn_list_use()
+        return self.phases[index]
+
+
+def make_preset(
+    name: str,
+    scale: float = 1.0,
+    seed: int = 0,
+    initial_clusters: int = 16,
+) -> PresetWorkload:
+    """Instantiate a preset by name.
+
+    Returns a :class:`PresetWorkload` (a real workload conforming to
+    :class:`repro.workload.base.WorkloadSpec`). Code that treated the old
+    bare ``list[SyntheticPhase]`` return as a list keeps working through a
+    ``DeprecationWarning`` shim.
+
+    Raises:
+        ValueError: on an unknown name, listing the valid preset names.
+    """
+    return PresetWorkload(
+        name, scale=scale, seed=seed, initial_clusters=initial_clusters
+    )

@@ -118,6 +118,7 @@ class SyntheticWorkload:
         if initial_clusters < 0:
             raise ValueError(f"initial_clusters must be non-negative, got {initial_clusters}")
         self.phases = list(phases)
+        self.seed = seed
         self.rng = random.Random(seed)
         self.initial_clusters = initial_clusters
         self._next_oid: ObjectId = 1
@@ -126,6 +127,15 @@ class SyntheticWorkload:
         self.clusters: list[_Cluster] = []
         #: Object sizes by oid, for trace statistics and tests.
         self.object_sizes: dict[ObjectId, int] = {}
+
+    def canonical_material(self) -> dict:
+        """Content-addressing material (:class:`repro.workload.base.WorkloadSpec`)."""
+        return {
+            "workload": "synthetic",
+            "phases": self.phases,
+            "initial_clusters": self.initial_clusters,
+            "seed": self.seed,
+        }
 
     # ------------------------------------------------------------------
     # Trace generation

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
 
+from repro.canonical import canonical_value
 from repro.events import TraceEvent
 from repro.workload.compiled import (
     TRACE_FORMAT_VERSION,
@@ -48,26 +49,28 @@ DEFAULT_MEMO_TRACES = 8
 
 
 def trace_fingerprint(workload, seed: int) -> str:
-    """Stable SHA-256 content address of one (workload spec, seed) trace.
+    """Stable SHA-256 content address of one (workload, seed) trace.
 
-    ``workload`` is a :class:`~repro.sim.spec.WorkloadSpec` (or anything the
-    spec canonicaliser accepts). The package version is part of the material
-    so generator changes invalidate stale traces, exactly as the result
-    cache invalidates stale summaries.
+    ``workload`` is either a declarative :class:`~repro.sim.spec.WorkloadSpec`
+    (registry key + kwargs — or anything else the canonicaliser accepts
+    directly) or an instantiated workload conforming to the
+    :class:`repro.workload.base.WorkloadSpec` protocol, in which case its
+    ``canonical_material()`` is digested. The package version is part of the
+    material so generator changes invalidate stale traces, exactly as the
+    result cache invalidates stale summaries.
 
     Raises:
-        TypeError: when the workload spec carries values that cannot be
+        TypeError: when the workload carries values that cannot be
             canonicalised (callers treat that as "uncacheable").
     """
-    # Local import: repro.sim.spec imports repro.workload generators, so a
-    # module-scope import here would close an import cycle.
     from repro import __version__
-    from repro.sim.spec import _canonical
 
+    describe = getattr(workload, "canonical_material", None)
+    described = describe() if callable(describe) else workload
     material = {
         "trace_format": TRACE_FORMAT_VERSION,
         "version": __version__,
-        "workload": _canonical(workload),
+        "workload": canonical_value(described),
         "seed": seed,
     }
     blob = json.dumps(material, sort_keys=True, separators=(",", ":"))
@@ -220,6 +223,13 @@ class TraceCache:
     def _events(workload, seed, builder):
         if builder is not None:
             return builder()
+        events = getattr(workload, "events", None)
+        if callable(events):
+            # An instantiated protocol workload generates its own trace
+            # (one-shot — but the compiled result is cached immediately).
+            return events()
+        # Local import: repro.sim.spec imports repro.workload generators, so
+        # a module-scope import here would close an import cycle.
         from repro.sim.spec import build_workload
 
         return build_workload(workload, seed)

@@ -78,6 +78,7 @@ class TransactionalWorkload:
         if initial_clusters < 0:
             raise ValueError("initial_clusters must be non-negative")
         self.spec = spec
+        self.seed = seed
         self.rng = random.Random(seed)
         self.initial_clusters = initial_clusters
         self._next_oid: ObjectId = 1
@@ -86,6 +87,15 @@ class TransactionalWorkload:
         self.clusters: list[_Cluster] = []
         self.aborted_transactions = 0
         self.committed_transactions = 0
+
+    def canonical_material(self) -> dict:
+        """Content-addressing material (:class:`repro.workload.base.WorkloadSpec`)."""
+        return {
+            "workload": "transactional",
+            "spec": self.spec,
+            "initial_clusters": self.initial_clusters,
+            "seed": self.seed,
+        }
 
     # ------------------------------------------------------------------
     # Trace generation

@@ -37,6 +37,7 @@ def test_suite_document_shape(quick_doc):
         "collection_throughput",
         "trace_compile_load",
         "sweep_trace_cache",
+        "multi_tenant_replay",
     ):
         assert name in quick_doc["results"], name
     assert quick_doc["results"]["figure1_cell"]["events_per_s"] > 0
@@ -47,6 +48,10 @@ def test_suite_document_shape(quick_doc):
     assert throughput["summaries_match"] is True
     # Sweeping 3 specs over 1 seed shares one trace: a single build.
     assert quick_doc["results"]["sweep_trace_cache"]["trace_builds"] == 1
+    replay = quick_doc["results"]["multi_tenant_replay"]
+    assert replay["events_per_s"] > 0
+    assert replay["tenants"] == 4
+    assert replay["collections"] > 0
 
 
 def test_compiled_load_beats_rebuild(quick_doc):
@@ -140,6 +145,7 @@ def test_bench_telemetry_writes_suite_and_case_files(tmp_path):
     assert "bench_traverse_replay.jsonl" in names
     assert "bench_collection_throughput.jsonl" in names
     assert "bench_trace_compile_load.jsonl" in names
+    assert "bench_multi_tenant_replay.jsonl" in names
     assert any(n.startswith("engine_") for n in names)
     # Readable via the metrics subcommand.
     assert cli_main(["metrics", str(tel)]) == 0

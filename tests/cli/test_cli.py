@@ -37,6 +37,7 @@ def test_experiment_registry_is_complete():
         "ablation-history",
         "ablation-selection",
         "ablation-weight",
+        "fleet-demo",
     }
     assert set(EXPERIMENTS) == expected
 
