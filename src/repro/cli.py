@@ -40,6 +40,12 @@ completes with partial results).
 grids — (grammar × tenants × seeds × policies) — through the same engine
 and caches (see :mod:`repro.fleet`).
 
+``python -m repro serve`` runs the simulator as a long-lived service over
+an unbounded workload stream — periodic WAL checkpoints with redo-log
+truncation, backpressure under a heap bound, graceful SIGTERM drain — and
+``serve --soak`` runs crash-soak drills against it (see
+:mod:`repro.service.cli`).
+
 Observability: ``--telemetry DIR`` writes one JSON-lines telemetry file
 per simulated run (per-collection GC timeline, metrics snapshot, phase
 spans) plus one engine-level file per batch; ``python -m repro metrics
@@ -327,6 +333,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.fleet import main as fleet_main
 
         return fleet_main(raw[1:])
+    if raw and raw[0] == "serve":
+        from repro.service.cli import main as serve_main
+
+        return serve_main(raw[1:])
 
     args = _build_parser().parse_args(raw)
 

@@ -1,0 +1,451 @@
+"""The long-running GC service: an unbounded-stream simulation process.
+
+:class:`GcService` wraps one :class:`~repro.sim.simulator.Simulation` in a
+service loop that adds what a long-lived process needs on top of trace
+replay:
+
+* **durability cadence** — periodic quiescent-point checkpoints
+  (:func:`repro.tx.recovery.build_checkpoint`) written through the WAL
+  and installed into the redo log, which truncates it: recovery after a
+  crash replays only the suffix logged since the last checkpoint;
+* **bounded memory** — admission control
+  (:mod:`repro.service.backpressure`) that forces collections and sheds
+  or delays incoming work before the modelled heap can exceed its bound;
+* **graceful shutdown** — SIGTERM/SIGINT (or
+  :meth:`GcService.request_shutdown`) drains the in-flight transaction,
+  takes a final checkpoint, and returns a report;
+* **pacing** — optional wall-clock throttling to a target ops/sec;
+* **observability** — checkpoint/shed/heartbeat events and
+  ``service.*`` metrics through :mod:`repro.obs`.
+
+Crash semantics are identical to finite drills: an injected
+:class:`~repro.faults.injector.SimulatedCrash` propagates annotated with
+``event_index``/``resume_index``, and a recovered service resumes the
+stream at exactly that index (:mod:`repro.service.soak` drives the
+cycle).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.rate_policy import RatePolicy
+from repro.events import (
+    AbortTransactionEvent,
+    CommitTransactionEvent,
+    CreateEvent,
+    IdleEvent,
+    PhaseMarkerEvent,
+    PointerWriteEvent,
+    TraceEvent,
+)
+from repro.faults.injector import SimulatedCrash
+from repro.gc.selection import PartitionSelectionPolicy
+from repro.service.backpressure import AdmissionController, BackpressureStats
+from repro.service.config import ServiceConfig
+from repro.service.stream import EventStream
+from repro.sim.simulator import Simulation, SimulationConfig
+from repro.storage.heap import ObjectStore
+from repro.tx.recovery import RedoLog, build_checkpoint
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.obs.telemetry import RunTelemetry
+
+
+@dataclass
+class ServiceReport:
+    """Everything one service run (start → stop/crash boundary) produced."""
+
+    #: Stream events consumed (applied + shed; phase markers included).
+    events_seen: int = 0
+    #: Events actually applied to the store.
+    events_applied: int = 0
+    #: Absolute stream index the next run should resume from.
+    next_index: int = 0
+    #: Checkpoints installed (including the final one).
+    checkpoints: int = 0
+    #: Collections performed over the run (forced ones included).
+    collections: int = 0
+    #: Why the loop stopped: end-of-stream / max-events / shutdown.
+    stopped: str = ""
+    #: SHA-256 of the committed reachable state at stop.
+    final_digest: str = ""
+    #: Peak modelled heap occupancy observed (bytes).
+    heap_peak_bytes: int = 0
+    #: Redo-log lifetime counters at stop.
+    log_appended_total: int = 0
+    log_truncated_total: int = 0
+    #: Records currently after the last checkpoint.
+    log_suffix_length: int = 0
+    #: WAL statistics snapshot (``WalStats.as_metrics`` shape).
+    wal: dict = field(default_factory=dict)
+    #: Admission-control outcomes (zeroes when backpressure is off).
+    backpressure: BackpressureStats = field(default_factory=BackpressureStats)
+    #: Wall-clock seconds spent sleeping for pacing.
+    paced_sleep_s: float = 0.0
+    #: Wall-clock seconds the run took.
+    wall_s: float = 0.0
+
+
+class GcService:
+    """A long-lived simulation process over an unbounded event stream.
+
+    Args:
+        policy: Collection-rate policy (fresh instance; rebuilt by the
+            soak harness after each crash, like finite drills do).
+        stream: The event source; must be replayable from any index.
+        selection: Partition-selection policy (default as Simulation's).
+        sim_config: Base simulation config; redo logging and the WAL are
+            force-enabled (a service without durability could not
+            recover).
+        service: The :class:`ServiceConfig` knobs.
+        faults: Fault plan or live injector (soak drills share one
+            injector across crash cycles).
+        obs: Optional telemetry (``kind="service"``).
+        store / redo_log: Recovered state to resume onto, exactly like
+            :class:`~repro.sim.simulator.Simulation`.
+    """
+
+    def __init__(
+        self,
+        policy: RatePolicy,
+        stream: EventStream,
+        selection: Optional[PartitionSelectionPolicy] = None,
+        sim_config: Optional[SimulationConfig] = None,
+        service: Optional[ServiceConfig] = None,
+        faults=None,
+        obs: Optional["RunTelemetry"] = None,
+        store: Optional[ObjectStore] = None,
+        redo_log: Optional[RedoLog] = None,
+    ) -> None:
+        self.service = service or ServiceConfig()
+        base = sim_config or SimulationConfig()
+        config = dataclasses.replace(
+            base, enable_redo_log=True, enable_wal=True
+        )
+        self.sim = Simulation(
+            policy=policy,
+            selection=selection,
+            config=config,
+            faults=faults,
+            store=store,
+            redo_log=redo_log,
+            obs=obs,
+        )
+        self.stream = stream
+        self.obs = obs
+        self.admission: Optional[AdmissionController] = None
+        if (
+            self.service.max_heap_bytes is not None
+            and self.service.backpressure != "off"
+        ):
+            self.admission = AdmissionController(
+                self.service.max_heap_bytes,
+                self.service.backpressure,
+                self._forced_collect,
+            )
+        self._shutdown_requested = False
+        self._shed_oids: set = set()
+        self._shed_txid: Optional[int] = None
+        self._events_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Ask the loop to drain and stop (signal-handler safe)."""
+        self._shutdown_requested = True
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT to a graceful drain (main thread only)."""
+
+        def _handler(signum, frame):
+            self.request_shutdown()
+
+        signal.signal(signal.SIGTERM, _handler)
+        signal.signal(signal.SIGINT, _handler)
+
+    # ------------------------------------------------------------------
+    # The service loop
+    # ------------------------------------------------------------------
+
+    def run(self, start_index: int = 0) -> ServiceReport:
+        """Consume the stream from ``start_index`` until a stop condition.
+
+        Stop conditions: the stream ends, ``service.max_events`` stream
+        events were consumed, or shutdown was requested — the latter two
+        drain the in-flight transaction first, so the stop point is always
+        quiescent and the final checkpoint covers everything applied.
+        An injected crash propagates as
+        :class:`~repro.faults.injector.SimulatedCrash` annotated with the
+        resume index, like :meth:`Simulation.run`.
+        """
+        sim = self.sim
+        svc = self.service
+        store = sim.store
+        iostats = store.iostats
+        tx = sim.tx
+        run_started = time.monotonic()
+        report = ServiceReport(next_index=start_index)
+        events = self.stream.events_from(start_index)
+        sim._event_index = start_index - 1
+        sim._tx_start_index = None
+        rate = svc.target_ops_per_s
+        max_events = svc.max_events
+        obs = self.obs
+        if obs is not None:
+            obs.event(
+                "service_start",
+                stream=self.stream.label,
+                start_index=start_index,
+                policy=sim.policy.describe(),
+            )
+        stopped = "end-of-stream"
+        try:
+            sim._schedule(sim.policy.first_trigger(store, iostats))
+            for event in events:
+                sim._event_index += 1
+                sim._event_applied = False
+                report.events_seen += 1
+                applied = self._process(event)
+                sim._event_applied = True
+                if applied:
+                    report.events_applied += 1
+                    self._events_since_checkpoint += 1
+                occupancy = store.db_size
+                if occupancy > report.heap_peak_bytes:
+                    report.heap_peak_bytes = occupancy
+                if not tx.in_transaction:
+                    while sim._clock() >= sim._due_at:
+                        sim._collect()
+                    if self._checkpoint_due():
+                        self._checkpoint(report)
+                    if self._shutdown_requested:
+                        stopped = "shutdown"
+                        break
+                # max_events is an exact window boundary, honoured even
+                # mid-transaction: soak drills rely on every segment
+                # consuming precisely the same absolute stream window as
+                # the reference, whatever index a segment started from.
+                # (Graceful shutdown, by contrast, drains to quiescence.)
+                if max_events is not None and report.events_seen >= max_events:
+                    stopped = "max-events"
+                    break
+                if rate is not None:
+                    ahead = (
+                        run_started
+                        + report.events_seen / rate
+                        - time.monotonic()
+                    )
+                    if ahead > 0.001:
+                        time.sleep(ahead)
+                        report.paced_sleep_s += ahead
+        except SimulatedCrash as crash:
+            crash.event_index = sim._event_index
+            crash.resume_index = (
+                sim._tx_start_index
+                if tx.in_transaction and sim._tx_start_index is not None
+                else sim._event_index + (0 if not sim._event_applied else 1)
+            )
+            raise
+        # Quiescent stop: flush a final checkpoint so a restart replays
+        # nothing. (A malformed finite stream ending mid-transaction skips
+        # it — checkpoints are only ever taken between transactions.)
+        if not tx.in_transaction and report.events_applied:
+            self._checkpoint(report)
+        report.stopped = stopped
+        report.next_index = start_index + report.events_seen
+        report.wall_s = time.monotonic() - run_started
+        self._finalise(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Event admission and application
+    # ------------------------------------------------------------------
+
+    def _process(self, event: TraceEvent) -> bool:
+        """Apply one stream event, or shed it. True when applied."""
+        admission = self.admission
+        if admission is None:
+            self.sim._apply(event)
+            self._sample(event)
+            return True
+        shed = self._shed_oids
+        cls = event.__class__
+        # Skip the remainder of a shed transaction block.
+        if self._shed_txid is not None:
+            if cls is CommitTransactionEvent or cls is AbortTransactionEvent:
+                if event.txid == self._shed_txid:
+                    self._shed_txid = None
+                    admission.stats.shed_events += 1
+                    return False
+            admission.stats.shed_events += 1
+            self._note_shed_references(event)
+            return False
+        # Cascade: anything referencing a shed object is itself shed (the
+        # store has never seen those oids, so applying would fault).
+        if shed and self._references_shed(event):
+            admission.stats.shed_events += 1
+            self._note_shed_references(event)
+            return False
+        # Admission: allocations must fit under the heap bound.
+        if cls is CreateEvent:
+            if not admission.admit(self.sim.store, event.size):
+                admission.stats.shed_events += 1
+                admission.stats.shed_objects += 1
+                shed.add(event.oid)
+                if self.sim.tx.in_transaction:
+                    # Transactions are atomic: a rejected allocation sheds
+                    # the whole block. Undo what already applied and skip
+                    # to the block's end.
+                    txid = self.sim.tx.current.txid
+                    self.sim.tx.abort(txid)
+                    self._shed_txid = txid
+                    admission.stats.shed_transactions += 1
+                if self.obs is not None:
+                    self.obs.metrics.counter("service.backpressure.sheds").inc()
+                return False
+        self.sim._apply(event)
+        self._prune_ledger(event)
+        self._sample(event)
+        return True
+
+    def _sample(self, event: TraceEvent) -> None:
+        sim = self.sim
+        cls = event.__class__
+        if cls is PhaseMarkerEvent:
+            return
+        if cls is IdleEvent:
+            sim._handle_idle(event.ticks)
+            return
+        sim._note_activity()
+        sim.sampler.on_event(sim.store, sim.store.iostats)
+
+    def _references_shed(self, event: TraceEvent) -> bool:
+        shed = self._shed_oids
+        cls = event.__class__
+        if cls is CreateEvent:
+            return any(
+                target is not None and target in shed
+                for _slot, target in event.pointers
+            )
+        if cls is PointerWriteEvent:
+            return event.src in shed or (
+                event.target is not None and event.target in shed
+            )
+        oid = getattr(event, "oid", None)
+        return oid is not None and oid in shed
+
+    def _note_shed_references(self, event: TraceEvent) -> None:
+        """Cascade and prune the shed ledger for a skipped event."""
+        if event.__class__ is CreateEvent:
+            self._shed_oids.add(event.oid)
+            self.admission.stats.shed_objects += 1
+        self._prune_ledger(event)
+
+    def _prune_ledger(self, event: TraceEvent) -> None:
+        """Drop shed oids once their death is announced by the stream.
+
+        A ``dies`` annotation is the stream's statement that no later
+        event references those objects, so the ledger can forget them —
+        this is what keeps shed-set memory bounded over unbounded streams.
+        """
+        if self._shed_oids and event.__class__ is PointerWriteEvent and event.dies:
+            self._shed_oids.difference_update(event.dies)
+
+    # ------------------------------------------------------------------
+    # Durability and collection
+    # ------------------------------------------------------------------
+
+    def _forced_collect(self) -> bool:
+        store = self.sim.store
+        before = store.db_size
+        self.sim._collect()
+        return store.db_size < before
+
+    def _checkpoint_due(self) -> bool:
+        svc = self.service
+        if self._events_since_checkpoint >= svc.checkpoint_every_events:
+            return True
+        return (
+            svc.max_log_records is not None
+            and self.sim.redo_log is not None
+            and self.sim.redo_log.suffix_length > svc.max_log_records
+        )
+
+    def _checkpoint(self, report: ServiceReport) -> None:
+        """Snapshot, pay the WAL cost, truncate the log (quiescent only).
+
+        Ordering is crash-safe: the WAL write (which an injected
+        ``io.write`` fault may kill) happens *before* the redo log is
+        truncated, so a crash mid-checkpoint leaves the previous
+        checkpoint + full suffix intact and recovery unaffected.
+        """
+        sim = self.sim
+        snapshot = build_checkpoint(sim.store, sim._event_index + 1)
+        if sim.tx.wal is not None:
+            sim.tx.wal.checkpoint(snapshot.estimated_bytes)
+        dropped = sim.redo_log.install_checkpoint(snapshot)
+        self._events_since_checkpoint = 0
+        report.checkpoints += 1
+        if self.obs is not None:
+            self.obs.event(
+                "checkpoint",
+                event_index=snapshot.event_index,
+                objects=len(snapshot.objects),
+                log_records_dropped=dropped,
+                heap_bytes=sim.store.db_size,
+            )
+            self.obs.metrics.counter("service.checkpoints").inc()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def _finalise(self, report: ServiceReport) -> None:
+        from repro.faults.drill import state_digest
+
+        sim = self.sim
+        report.collections = sim.collector.collections_performed
+        report.final_digest = state_digest(sim.store)
+        if sim.store.db_size > report.heap_peak_bytes:
+            report.heap_peak_bytes = sim.store.db_size
+        if sim.redo_log is not None:
+            report.log_appended_total = sim.redo_log.appended_total
+            report.log_truncated_total = sim.redo_log.truncated_total
+            report.log_suffix_length = sim.redo_log.suffix_length
+        if sim.tx.wal is not None:
+            report.wal = sim.tx.wal.stats.as_metrics()
+        if self.admission is not None:
+            report.backpressure = self.admission.stats
+        obs = self.obs
+        if obs is not None:
+            metrics = obs.metrics
+            metrics.gauge("service.events_seen").set(report.events_seen)
+            metrics.gauge("service.events_applied").set(report.events_applied)
+            metrics.gauge("service.next_index").set(report.next_index)
+            metrics.gauge("service.collections").set(report.collections)
+            metrics.gauge("service.heap_peak_bytes").set(report.heap_peak_bytes)
+            metrics.gauge("service.log_suffix").set(report.log_suffix_length)
+            metrics.set_many(
+                report.backpressure.as_metrics(),
+                prefix="service.backpressure.",
+            )
+            if report.wal:
+                metrics.set_many(report.wal, prefix="wal.")
+            metrics.gauge("service.paced_sleep_s").set(
+                round(report.paced_sleep_s, 6)
+            )
+            obs.event(
+                "service_stop",
+                stopped=report.stopped,
+                events_seen=report.events_seen,
+                events_applied=report.events_applied,
+                checkpoints=report.checkpoints,
+                digest=report.final_digest,
+            )

@@ -1,0 +1,290 @@
+"""Crash-soak drills: kill the service repeatedly, demand byte-identity.
+
+The finite-trace analogue lives in :mod:`repro.faults.drill`; a soak drill
+is the same experiment run against the *service* posture instead:
+
+1. a **reference** service consumes a bounded window of the stream with no
+   faults, producing the committed reachable state an unfailing service
+   reaches;
+2. a **drilled** service consumes the same window with a fault plan
+   attached. Every injected crash kills the simulated process mid-stream;
+   the drill recovers from the last checkpoint plus the redo-log suffix
+   (:func:`repro.tx.recovery.recover_with_info`), rebuilds a fresh service
+   around the recovered store — rate/selection policies rebuilt from their
+   specs — and resumes the stream at exactly ``crash.resume_index``.
+
+Acceptance is byte-level and suffix-aware: the final committed reachable
+state must hash identically to the reference's, and each recovery reports
+whether it restored from a checkpoint and how many suffix records it
+replayed — so tests can assert that post-checkpoint recovery did *not*
+re-read the whole history (``RedoLog.appended_total`` keeps the lifetime
+count for comparison).
+
+Byte-identity requires ``backpressure="off"``: shed decisions depend on
+collection timing, which crash/recovery legitimately shifts, so a drilled
+run with admission control could diverge from its reference without any
+bug. :func:`run_soak_drill` rejects such configs up front.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults.drill import state_digest
+from repro.faults.injector import FaultInjector, SimulatedCrash
+from repro.faults.plan import FaultPlan
+from repro.service.config import ServiceConfig
+from repro.service.server import GcService, ServiceReport
+from repro.service.stream import EventStream
+from repro.sim.simulator import SimulationConfig
+from repro.sim.spec import PolicySpec, SelectionSpec, build_policy, build_selection
+from repro.tx.recovery import RedoLog, recover_with_info
+
+
+@dataclass
+class RecoveryOutcome:
+    """What one crash/recover cycle of the soak actually did."""
+
+    #: Fault site that killed the service.
+    site: str
+    #: Absolute stream index the crash interrupted.
+    event_index: int
+    #: Absolute stream index the resumed service restarted from.
+    resume_index: int
+    #: Objects rebuilt into the recovered store.
+    recovered_objects: int
+    #: True when recovery restored a checkpoint snapshot first.
+    from_checkpoint: bool
+    #: Event index the restored checkpoint covered (-1 when none).
+    checkpoint_event_index: int
+    #: Redo records replayed after the checkpoint (the suffix).
+    records_replayed: int
+    #: Lifetime records the log had seen when this recovery ran — proves
+    #: the replay was suffix-only whenever ``records_replayed`` is smaller.
+    log_appended_total: int
+
+
+@dataclass
+class SoakReport:
+    """Everything one crash-soak drill established."""
+
+    #: Stream events in the soaked window.
+    events_total: int
+    #: Injected crashes survived.
+    crashes: int = 0
+    #: Per-crash recovery outcomes, in order.
+    recoveries: list[RecoveryOutcome] = field(default_factory=list)
+    #: Checkpoints installed across all segments (shared-log lifetime).
+    checkpoints: int = 0
+    #: Digest of the unfailed reference service's committed state.
+    reference_digest: str = ""
+    #: Digest of the drilled service's final committed state.
+    final_digest: str = ""
+    #: The final (uncrashed) segment's service report.
+    final_segment: Optional[ServiceReport] = None
+    #: The reference run's service report.
+    reference: Optional[ServiceReport] = None
+    #: The drilled injector's fault ledger (site, occurrence, effect).
+    fired: list[tuple] = field(default_factory=list)
+
+    @property
+    def matches_reference(self) -> bool:
+        """True when the drilled service ended byte-identical."""
+        return self.reference_digest == self.final_digest
+
+    @property
+    def suffix_only(self) -> bool:
+        """True when every post-checkpoint recovery replayed < lifetime log.
+
+        Vacuously true when no recovery had a checkpoint to restore from
+        (e.g. every crash landed before the first checkpoint cadence).
+        """
+        return all(
+            r.records_replayed < r.log_appended_total
+            for r in self.recoveries
+            if r.from_checkpoint
+        )
+
+
+def run_soak_drill(
+    stream: EventStream,
+    policy: PolicySpec,
+    seed: int = 0,
+    selection: Optional[SelectionSpec] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    service: Optional[ServiceConfig] = None,
+    plan: Optional[FaultPlan] = None,
+    max_crashes: int = 64,
+    telemetry=None,
+) -> SoakReport:
+    """Run one crash-soak drill over a bounded stream window.
+
+    Args:
+        stream: The replayable event stream; both the reference and every
+            resumed drilled segment regenerate from it, so it must be a
+            pure function of its construction (all of
+            :mod:`repro.service.stream`'s factories are).
+        policy / selection: Specs, not instances — every segment rebuilds
+            fresh policy state from scratch, exactly like the finite
+            drill's recovery semantics.
+        seed: Seed for policy/selection construction.
+        sim_config: Base simulation config (redo log + WAL force-enabled
+            by the service regardless).
+        service: Service knobs. ``max_events`` is required (it bounds the
+            soak window) and ``backpressure`` must be ``"off"`` (see the
+            module docstring for why byte-identity demands it).
+        plan: The failure schedule. Crash faults drive the soak.
+        max_crashes: Safety valve against unbounded crash plans.
+        telemetry: A RunTelemetry, or a path for a ``kind="soak"`` file,
+            or None. One telemetry object observes the whole soak.
+
+    Raises:
+        ValueError: On a missing plan, unbounded window, or backpressure.
+        RuntimeError: When ``max_crashes`` is exceeded.
+    """
+    if plan is None:
+        raise ValueError("a crash-soak drill needs a FaultPlan (plan=)")
+    svc = service or ServiceConfig(max_events=100_000)
+    if svc.max_events is None:
+        raise ValueError(
+            "soak drills need a bounded window: set service.max_events"
+        )
+    if svc.backpressure != "off":
+        raise ValueError(
+            "soak drills compare byte-identical digests, which requires "
+            'backpressure="off" (shed decisions depend on collection '
+            "timing, which crash/recovery legitimately shifts)"
+        )
+    config = sim_config or SimulationConfig()
+
+    obs = None
+    owns_obs = False
+    if telemetry is not None:
+        from repro.obs.telemetry import RunTelemetry
+
+        if isinstance(telemetry, RunTelemetry):
+            obs = telemetry
+        else:
+            obs = RunTelemetry(
+                telemetry, kind="soak", label=policy.kind, seed=seed
+            )
+            owns_obs = True
+
+    total = svc.max_events
+
+    def fresh(
+        remaining: int,
+        store=None,
+        redo_log=None,
+        faults=None,
+        observed=False,
+    ) -> GcService:
+        return GcService(
+            policy=build_policy(policy, seed),
+            stream=stream,
+            selection=(
+                build_selection(selection, seed)
+                if selection is not None
+                else None
+            ),
+            sim_config=config,
+            service=dataclasses.replace(svc, max_events=remaining),
+            faults=faults,
+            obs=obs if observed else None,
+            store=store,
+            redo_log=redo_log,
+        )
+
+    report = SoakReport(events_total=total)
+
+    # Reference: same window, same config, no faults. Unobserved, so the
+    # telemetry file describes the drilled service's one coherent timeline.
+    reference = fresh(total)
+    if obs is not None:
+        with obs.span("reference"):
+            report.reference = reference.run()
+    else:
+        report.reference = reference.run()
+    report.reference_digest = report.reference.final_digest
+
+    # Drilled service: one injector and one redo log for the whole soak, so
+    # occurrence counters survive crashes and checkpoint history carries
+    # across segments.
+    injector = FaultInjector(plan)
+    log = RedoLog()
+    start = 0
+    store = None
+    while True:
+        gcs = fresh(
+            total - start,
+            store=store,
+            redo_log=log,
+            faults=injector,
+            observed=True,
+        )
+        try:
+            if obs is not None:
+                with obs.span("soak_segment", start_index=start):
+                    segment = gcs.run(start_index=start)
+            else:
+                segment = gcs.run(start_index=start)
+            report.final_segment = segment
+            break
+        except SimulatedCrash as crash:
+            report.crashes += 1
+            if report.crashes > max_crashes:
+                raise RuntimeError(
+                    f"soak exceeded max_crashes={max_crashes}; plan {plan} "
+                    "appears to crash unboundedly"
+                ) from crash
+            appended_before = log.appended_total
+            recovered, info = recover_with_info(log, store_config=config.store)
+            log.truncate_uncommitted()
+            start = crash.resume_index
+            store = recovered
+            report.recoveries.append(
+                RecoveryOutcome(
+                    site=crash.site,
+                    event_index=crash.event_index,
+                    resume_index=crash.resume_index,
+                    recovered_objects=info.objects,
+                    from_checkpoint=info.from_checkpoint,
+                    checkpoint_event_index=info.checkpoint_event_index,
+                    records_replayed=info.records_replayed,
+                    log_appended_total=appended_before,
+                )
+            )
+            if obs is not None:
+                obs.event(
+                    "crash",
+                    site=crash.site,
+                    event_index=crash.event_index,
+                    resume_index=crash.resume_index,
+                )
+                obs.event(
+                    "recovered",
+                    objects=info.objects,
+                    from_checkpoint=info.from_checkpoint,
+                    records_replayed=info.records_replayed,
+                    resume_index=start,
+                )
+                obs.metrics.counter("soak.recoveries").inc()
+
+    report.final_digest = state_digest(gcs.sim.store)
+    report.checkpoints = log.checkpoints_installed
+    report.fired = [(f.site, f.occurrence, f.effect) for f in injector.fired]
+    if obs is not None:
+        obs.metrics.gauge("soak.crashes").set(report.crashes)
+        obs.metrics.gauge("soak.checkpoints").set(report.checkpoints)
+        obs.event(
+            "soak_complete",
+            crashes=report.crashes,
+            checkpoints=report.checkpoints,
+            matches_reference=report.matches_reference,
+            suffix_only=report.suffix_only,
+        )
+        if owns_obs:
+            obs.close()
+    return report

@@ -1,0 +1,102 @@
+"""Replayable event streams: the unbounded analogue of compiled traces.
+
+A finite drill resumes after a crash with ``CompiledTrace.replay(start)``;
+a service over an unbounded stream cannot materialise the trace, so it
+resumes by *regenerating*: every stream here is a pure function of its
+construction arguments, and :meth:`EventStream.events_from` re-instantiates
+the generator and skips to the requested absolute index. Determinism of
+the underlying generators (grammar/tenant streaming modes are seeded and
+side-effect-free) makes the skip exact — property-tested in
+``tests/service``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.events import TraceEvent
+from repro.workload.grammar import GrammarWorkload, WorkloadConfig
+from repro.workload.tenants import TenantMix, TenantMixConfig
+
+
+@runtime_checkable
+class EventStream(Protocol):
+    """Anything that can (re)start its event stream at an absolute index."""
+
+    #: Display label for reports and telemetry.
+    label: str
+
+    def events_from(self, start_index: int = 0) -> Iterator[TraceEvent]:
+        """A fresh iterator positioned at absolute event ``start_index``."""
+        ...
+
+
+@dataclass
+class ReplayableStream:
+    """An :class:`EventStream` over a zero-argument generator factory.
+
+    The factory must return a *new* iterator reproducing the identical
+    event sequence on every call (seeded generators qualify; a one-shot
+    iterator object does not).
+    """
+
+    factory: Callable[[], Iterator[TraceEvent]]
+    label: str = "stream"
+    #: Plain-data description, for logs and soak reports.
+    material: dict[str, Any] = field(default_factory=dict)
+
+    def events_from(self, start_index: int = 0) -> Iterator[TraceEvent]:
+        if start_index < 0:
+            raise ValueError(f"start_index must be >= 0, got {start_index}")
+        events = self.factory()
+        if start_index:
+            events = itertools.islice(events, start_index, None)
+        return events
+
+
+def grammar_stream(
+    config: WorkloadConfig, seed: int = 0, max_live_clusters: int = 512
+) -> ReplayableStream:
+    """Unbounded single-tenant stream over a grammar config."""
+    return ReplayableStream(
+        factory=lambda: GrammarWorkload(config, seed=seed).stream(
+            max_live_clusters
+        ),
+        label=config.name,
+        material={
+            "kind": "grammar",
+            "config": config.name,
+            "seed": seed,
+            "max_live_clusters": max_live_clusters,
+        },
+    )
+
+
+def tenant_stream(
+    config: TenantMixConfig, seed: int = 0, max_live_clusters: int = 512
+) -> ReplayableStream:
+    """Unbounded multi-tenant stream over a tenant-mix config."""
+    return ReplayableStream(
+        factory=lambda: TenantMix(config, seed=seed).stream(max_live_clusters),
+        label=config.name,
+        material={
+            "kind": "tenant-mix",
+            "config": config.name,
+            "seed": seed,
+            "max_live_clusters": max_live_clusters,
+        },
+    )
+
+
+def finite_stream(
+    events: Sequence[TraceEvent], label: str = "finite"
+) -> ReplayableStream:
+    """A finite, materialised stream (tests and small bounded runs)."""
+    events = list(events)
+    return ReplayableStream(
+        factory=lambda: iter(events),
+        label=label,
+        material={"kind": "finite", "events": len(events)},
+    )

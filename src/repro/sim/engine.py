@@ -14,8 +14,8 @@ ProcessPoolExecutor` and memoises each run in an optional on-disk
   progress callback and in :class:`~repro.sim.runner.RunStats`.
 
 The engine is failure-tolerant: a run that raises (or exceeds
-``run_timeout``) is retried up to ``retries`` times with exponential
-backoff, and if it still fails it is *quarantined* — recorded as a
+``run_timeout``) is retried up to ``retries`` times with capped, jittered
+exponential backoff, and if it still fails it is *quarantined* — recorded as a
 :class:`~repro.sim.runner.RunFailure` on the setting's
 :class:`~repro.sim.runner.AggregateResult` — while the rest of the batch
 completes and aggregates over the successful runs. A broken worker pool
@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
-import signal
+import random
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -185,8 +185,20 @@ def _as_trace_cache(cache: TraceCacheLike) -> Optional[TraceCache]:
     return TraceCache(cache)
 
 
-def _alarm_handler(signum, frame):
-    raise RunTimeoutError("simulation run exceeded run_timeout")
+def _deadline_guard(trace, deadline: float):
+    """Yield ``trace``'s events until the monotonic ``deadline`` passes.
+
+    The portable timeout mechanism: one clock read per event, no signals —
+    works on every platform (SIGALRM does not exist on Windows), in worker
+    threads (``signal.signal`` is main-thread-only), and composes with any
+    number of concurrent runs. Granularity is one event, which is the
+    simulation's natural unit of forward progress.
+    """
+    monotonic = time.monotonic
+    for event in trace:
+        if monotonic() >= deadline:
+            raise RunTimeoutError("simulation run exceeded run_timeout")
+        yield event
 
 
 def _simulate(
@@ -199,9 +211,11 @@ def _simulate(
 ) -> tuple[SimulationSummary, Optional[list[CollectionRecord]], float]:
     """Execute one (spec, seed) run.
 
-    ``timeout`` is enforced with ``SIGALRM`` where the platform and calling
-    context allow it (POSIX, main thread); elsewhere it degrades to no
-    timeout rather than failing the run. With a ``trace_cache`` the
+    ``timeout`` is enforced with a monotonic deadline checked once per
+    trace event (plus once after the run completes, so even runs shorter
+    than one check interval are measured against their budget). No signals
+    are involved, so enforcement works identically on every platform and
+    off the main thread. With a ``trace_cache`` the
     workload trace is resolved through the compiled-trace cache (memo /
     disk / build) instead of re-running the generator; replay is
     event-identical, so the results don't depend on which path ran.
@@ -220,34 +234,27 @@ def _simulate(
             label=spec.label or spec.policy.kind,
             seed=seed,
         )
-    restore = None
-    if timeout is not None and hasattr(signal, "SIGALRM"):
-        try:
-            restore = signal.signal(signal.SIGALRM, _alarm_handler)
-            signal.setitimer(signal.ITIMER_REAL, timeout)
-        except ValueError:  # not in the main thread: run without a timeout
-            restore = None
-    try:
-        if trace_cache is not None:
-            policy = build_policy(spec.policy, seed)
-            selection = build_selection(spec.selection, seed)
-            trace = trace_cache.get_or_build(spec.workload, seed)
-        else:
-            policy, trace, selection = spec.resolve(seed)
-        faults = FaultInjector(spec.faults) if spec.faults is not None else None
-        sim = Simulation(
-            policy=policy, selection=selection, config=spec.sim, faults=faults,
-            obs=obs,
-        )
-        if obs is not None:
-            with obs.span("simulate"):
-                result = sim.run(trace)
-        else:
+    deadline = time.monotonic() + timeout if timeout is not None else None
+    if trace_cache is not None:
+        policy = build_policy(spec.policy, seed)
+        selection = build_selection(spec.selection, seed)
+        trace = trace_cache.get_or_build(spec.workload, seed)
+    else:
+        policy, trace, selection = spec.resolve(seed)
+    if deadline is not None:
+        trace = _deadline_guard(trace, deadline)
+    faults = FaultInjector(spec.faults) if spec.faults is not None else None
+    sim = Simulation(
+        policy=policy, selection=selection, config=spec.sim, faults=faults,
+        obs=obs,
+    )
+    if obs is not None:
+        with obs.span("simulate"):
             result = sim.run(trace)
-    finally:
-        if restore is not None:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, restore)
+    else:
+        result = sim.run(trace)
+    if deadline is not None and time.monotonic() >= deadline:
+        raise RunTimeoutError("simulation run exceeded run_timeout")
     elapsed = time.perf_counter() - started
     if obs is not None:
         obs.close()
@@ -267,9 +274,14 @@ class ParallelRunner:
         retries: Extra attempts per run after the first one fails
             (exponential backoff between attempts). ``0`` fails fast.
         retry_backoff: Base backoff in seconds; attempt *n* waits
-            ``retry_backoff * 2**(n-1)`` before retrying.
+            ``retry_backoff * 2**(n-1)`` (capped, jittered) before
+            retrying.
+        retry_backoff_cap: Upper bound in seconds on any single backoff
+            wait — keeps deep retry chains from doubling into minutes.
         run_timeout: Per-run wall-clock budget in seconds; a run exceeding
             it is treated as failed (and retried like any other failure).
+            Enforced with a per-event monotonic-deadline check — portable
+            across platforms and threads, no signals involved.
         faults: A :class:`~repro.faults.plan.FaultPlan` composed onto every
             spec in the batch that does not already carry one — the CLI's
             ``--faults`` plumbing. Fault plans are part of the cache
@@ -298,6 +310,7 @@ class ParallelRunner:
         progress: Optional[ProgressCallback] = None,
         retries: int = 0,
         retry_backoff: float = 0.5,
+        retry_backoff_cap: float = 30.0,
         run_timeout: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         trace_cache: TraceCacheLike = None,
@@ -309,6 +322,10 @@ class ParallelRunner:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if retry_backoff < 0:
             raise ValueError(f"retry_backoff must be >= 0, got {retry_backoff}")
+        if retry_backoff_cap <= 0:
+            raise ValueError(
+                f"retry_backoff_cap must be > 0, got {retry_backoff_cap}"
+            )
         if run_timeout is not None and run_timeout <= 0:
             raise ValueError(f"run_timeout must be > 0, got {run_timeout}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
@@ -316,6 +333,7 @@ class ParallelRunner:
         self.progress = progress
         self.retries = retries
         self.retry_backoff = retry_backoff
+        self.retry_backoff_cap = retry_backoff_cap
         self.run_timeout = run_timeout
         self.faults = faults
         self.trace_cache = _as_trace_cache(trace_cache)
@@ -500,10 +518,19 @@ class ParallelRunner:
     # ------------------------------------------------------------------
 
     def _backoff(self, attempt: int) -> None:
-        """Sleep before retry ``attempt`` (1-based): exponential backoff."""
-        delay = self.retry_backoff * (2 ** (attempt - 1))
+        """Sleep before retry ``attempt`` (1-based): capped, jittered.
+
+        The uncapped exponential doubles into minutes within a dozen
+        attempts; ``retry_backoff_cap`` bounds the wait. Full-half jitter
+        (a uniform draw from ``[delay/2, delay)``) decorrelates retry
+        storms when many runs fail at once. Wall-clock only — simulation
+        results never depend on the sleep.
+        """
+        delay = min(
+            self.retry_backoff * (2 ** (attempt - 1)), self.retry_backoff_cap
+        )
         if delay > 0:
-            time.sleep(delay)
+            time.sleep(delay * (0.5 + 0.5 * random.random()))
 
     def _run_serial(self, specs, tasks, pending, fingerprints, outcomes,
                     keep_records, progress, tel_paths=None):
@@ -767,6 +794,7 @@ def run_experiment(
     keep_records: bool = False,
     retries: int = 0,
     retry_backoff: float = 0.5,
+    retry_backoff_cap: float = 30.0,
     run_timeout: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
     trace_cache: TraceCacheLike = None,
@@ -786,7 +814,8 @@ def run_experiment(
     """
     runner = ParallelRunner(
         jobs=jobs, cache=cache, progress=progress, retries=retries,
-        retry_backoff=retry_backoff, run_timeout=run_timeout, faults=faults,
+        retry_backoff=retry_backoff, retry_backoff_cap=retry_backoff_cap,
+        run_timeout=run_timeout, faults=faults,
         trace_cache=trace_cache, telemetry=telemetry,
     )
     return runner.run(spec, seeds, keep_records=keep_records)
@@ -802,6 +831,7 @@ def run_experiment_batch(
     keep_records: bool = False,
     retries: int = 0,
     retry_backoff: float = 0.5,
+    retry_backoff_cap: float = 30.0,
     run_timeout: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
     trace_cache: TraceCacheLike = None,
@@ -810,7 +840,8 @@ def run_experiment_batch(
     """Run several settings over the same seeds in one parallel fan-out."""
     runner = ParallelRunner(
         jobs=jobs, cache=cache, progress=progress, retries=retries,
-        retry_backoff=retry_backoff, run_timeout=run_timeout, faults=faults,
+        retry_backoff=retry_backoff, retry_backoff_cap=retry_backoff_cap,
+        run_timeout=run_timeout, faults=faults,
         trace_cache=trace_cache, telemetry=telemetry,
     )
     return runner.run_batch(specs, seeds, keep_records=keep_records)

@@ -249,6 +249,26 @@ class ObjectStore:
         if oid in self.unlinked:
             self._unpin(oid)
 
+    def declare_dead(self, oid: ObjectId) -> None:
+        """Mark ``oid`` as oracle-dead without a pointer overwrite.
+
+        Checkpoint restoration (:mod:`repro.tx.recovery`) uses this to
+        reinstate the dead/live split a snapshot captured; missing or
+        already-dead oids are tolerated, matching ``dies`` semantics.
+        """
+        self._declare_dead(oid)
+
+    def release_pin(self, oid: ObjectId) -> None:
+        """Drop ``oid``'s allocation pin without referencing it.
+
+        Checkpoint restoration uses this for objects that historically lost
+        their last incoming pointer: rebuilding the graph leaves them
+        pinned (never referenced during replay) even though the original
+        store had unpinned them. No-op when ``oid`` is not pinned.
+        """
+        if oid in self.unlinked:
+            self._unpin(oid)
+
     # ------------------------------------------------------------------
     # Transaction-rollback support
     #

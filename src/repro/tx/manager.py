@@ -148,15 +148,21 @@ class TransactionManager:
         # Crash point *before* the commit record: a crash here loses the
         # transaction entirely — recovery replays nothing of it.
         self._fire("tx.commit")
+        # Durability order matters: the WAL force is the modelled act of
+        # pushing the commit record to disk, so it must complete *before*
+        # the redo log records the commit. A crash mid-force (io.write
+        # fault) then leaves no commit record — recovery drops the
+        # transaction and the resumed stream re-executes it exactly once,
+        # instead of replaying it *and* re-executing it.
+        self._log("commit")
+        if self.wal is not None:
+            self.wal.force()
+        if self.redo_log is not None:
+            self.redo_log.commit(txn.txid)
         txn.state = TransactionState.COMMITTED
         txn.undo_log.clear()
         self.current = None
         self.committed += 1
-        self._log("commit")
-        if self.redo_log is not None:
-            self.redo_log.commit(txn.txid)
-        if self.wal is not None:
-            self.wal.force()
         return txn
 
     def abort(self, txid: Optional[int] = None) -> Transaction:

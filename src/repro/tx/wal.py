@@ -38,6 +38,10 @@ RECORD_SIZES = {
 }
 
 
+#: Fixed header cost of a variable-sized checkpoint record.
+CHECKPOINT_HEADER_SIZE = 32
+
+
 @dataclass
 class WalStats:
     """Cumulative write-ahead-log statistics."""
@@ -46,6 +50,7 @@ class WalStats:
     bytes_logged: int = 0
     pages_written: int = 0
     forces: int = 0
+    checkpoints: int = 0
     records_by_type: dict[str, int] = field(default_factory=dict)
 
     def as_metrics(self) -> dict:
@@ -55,6 +60,7 @@ class WalStats:
             "bytes_logged": self.bytes_logged,
             "pages_written": self.pages_written,
             "forces": self.forces,
+            "checkpoints": self.checkpoints,
         }
 
 
@@ -96,6 +102,33 @@ class WriteAheadLog:
         while self._tail_bytes >= self.page_size:
             self._tail_bytes -= self.page_size
             self._write_page()
+
+    def checkpoint(self, payload_bytes: int) -> None:
+        """Append one variable-sized checkpoint record and force the log.
+
+        Checkpoints are the service mode's durability points: the snapshot
+        payload (``payload_bytes``, modelled — see
+        :meth:`repro.tx.recovery.CheckpointSnapshot.estimated_bytes`) is
+        written through the normal page-granular path and the tail is
+        forced, so a checkpoint pays realistic I/O proportional to the
+        state it captures.
+        """
+        if payload_bytes < 0:
+            raise ValueError(
+                f"payload_bytes must be >= 0, got {payload_bytes}"
+            )
+        size = CHECKPOINT_HEADER_SIZE + payload_bytes
+        self.stats.records += 1
+        self.stats.bytes_logged += size
+        self.stats.checkpoints += 1
+        self.stats.records_by_type["checkpoint"] = (
+            self.stats.records_by_type.get("checkpoint", 0) + 1
+        )
+        self._tail_bytes += size
+        while self._tail_bytes >= self.page_size:
+            self._tail_bytes -= self.page_size
+            self._write_page()
+        self.force()
 
     def force(self) -> None:
         """Flush the partially filled tail page (commit/abort durability)."""

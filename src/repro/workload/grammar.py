@@ -535,8 +535,17 @@ class GrammarWorkload:
         self._idle_debt = 0.0
         self.registry_oid: Optional[ObjectId] = None
         self.clusters: list[_Cluster] = []
-        #: Object sizes by oid, for trace statistics and tests.
+        #: Object sizes by oid, for trace statistics and tests. Streaming
+        #: mode turns this off — an unbounded stream must not grow
+        #: generator state with the trace.
+        self._track_sizes = True
         self.object_sizes: dict[ObjectId, int] = {}
+        #: Streaming mode recycles registry slots of deleted clusters so
+        #: the registry object's pointer dictionary (in the *store*) stays
+        #: O(max_live_clusters) over an unbounded stream instead of
+        #: accreting one dead ``clusterN -> None`` entry per churn cycle.
+        self._reuse_slots = False
+        self._free_slots: list[str] = []
 
     def canonical_material(self) -> dict[str, Any]:
         return {"workload": "grammar", "config": self.config, "seed": self.seed}
@@ -558,6 +567,42 @@ class GrammarWorkload:
                 yield PhaseMarkerEvent(name)
                 yield from self._run_phase(phase)
 
+    def stream(self, max_live_clusters: int = 512) -> Iterator[TraceEvent]:
+        """An unbounded trace with bounded generator memory (one-shot).
+
+        Cycles the config's phase list forever (phase markers are suffixed
+        ``@cycle`` so telemetry stays attributable) while keeping the
+        generator's own state O(``max_live_clusters``): per-oid size
+        tracking is disabled and whenever a create pushes the live-cluster
+        registry past the cap, the oldest-half region immediately sheds one
+        cluster (a normal delete, so the emitted trace stays coherent and
+        the store's garbage signals behave like steady-state churn).
+
+        The stream is a pure function of (config, seed, max_live_clusters):
+        re-instantiating the workload and islicing from any index resumes
+        it exactly — the service's crash–recover–continue path relies on
+        this the way finite drills rely on ``CompiledTrace.replay``.
+        """
+        if max_live_clusters < 1:
+            raise GrammarError(
+                f"max_live_clusters must be >= 1, got {max_live_clusters}"
+            )
+        self._track_sizes = False
+        self._reuse_slots = True
+        yield from self._setup()
+        cycle = 0
+        while True:
+            for phase in self.config.phases:
+                for repetition in range(phase.repeat):
+                    name = (
+                        phase.name
+                        if phase.repeat == 1
+                        else f"{phase.name}#{repetition}"
+                    )
+                    yield PhaseMarkerEvent(f"{name}@{cycle}")
+                    yield from self._run_phase(phase, cap=max_live_clusters)
+            cycle += 1
+
     def _setup(self) -> Iterator[TraceEvent]:
         self.registry_oid = self._new_oid(64)
         yield CreateEvent(self.registry_oid, 64, ObjectKind.GENERIC)
@@ -566,13 +611,19 @@ class GrammarWorkload:
         for _ in range(self.config.initial_clusters):
             yield from self._create_cluster(first)
 
-    def _run_phase(self, phase: PhaseBlock) -> Iterator[TraceEvent]:
+    def _run_phase(
+        self, phase: PhaseBlock, cap: Optional[int] = None
+    ) -> Iterator[TraceEvent]:
         weights = phase.mix.weights()
         rng = self.rng
         for _ in range(phase.operations):
             op = rng.choices(OPERATIONS, weights=weights)[0]
             if op == "create":
                 yield from self._create_cluster(phase)
+                if cap is not None and len(self.clusters) > cap:
+                    # Streaming bound: shed one cluster per overflow so the
+                    # registry never exceeds the cap (steady-state churn).
+                    yield from self._delete_cluster(phase)
             elif op == "delete":
                 yield from self._delete_cluster(phase)
             elif op == "trim":
@@ -605,7 +656,8 @@ class GrammarWorkload:
     def _new_oid(self, size: int) -> ObjectId:
         oid = self._next_oid
         self._next_oid += 1
-        self.object_sizes[oid] = size
+        if self._track_sizes:
+            self.object_sizes[oid] = size
         return oid
 
     def _pick_cluster(self, phase: PhaseBlock) -> Optional[_Cluster]:
@@ -629,8 +681,11 @@ class GrammarWorkload:
             successor = oid
         members.reverse()  # head first
 
-        slot = f"cluster{self._next_slot}"
-        self._next_slot += 1
+        if self._free_slots:
+            slot = self._free_slots.pop()  # LIFO: deterministic reuse
+        else:
+            slot = f"cluster{self._next_slot}"
+            self._next_slot += 1
         yield PointerWriteEvent(self.registry_oid, slot, members[0])
         self.clusters.append(
             _Cluster(slot=slot, members=members, member_size=object_size)
@@ -645,6 +700,8 @@ class GrammarWorkload:
         yield PointerWriteEvent(
             self.registry_oid, cluster.slot, None, dies=tuple(cluster.members)
         )
+        if self._reuse_slots:
+            self._free_slots.append(cluster.slot)
 
     def _trim_cluster(self, phase: PhaseBlock) -> Iterator[TraceEvent]:
         """Cut off a suffix of a cluster with a single overwrite."""

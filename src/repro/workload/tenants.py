@@ -31,7 +31,9 @@ from __future__ import annotations
 
 import json
 import random
+from bisect import bisect
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.events import (
@@ -218,6 +220,10 @@ def _remap_event(event: TraceEvent, stride: int, offset: int, prefix: str) -> Tr
     return event  # IdleEvent
 
 
+#: Valid ``TenantMix`` merge implementations.
+MERGE_MODES = ("bisect", "choices")
+
+
 class TenantMix:
     """Interleaves N tenant streams into one deterministic trace.
 
@@ -229,11 +235,31 @@ class TenantMix:
         config: The multi-tenant scenario.
         seed: Seed for the interleave draws *and* (via
             :func:`tenant_seed`) every tenant's own generator.
+        merge_mode: How the weighted tenant draw is implemented.
+            ``"bisect"`` (default) keeps the cumulative-weight table cached
+            across steps and draws in O(log k) per merge step, rebuilding
+            the table only when a tenant exhausts; ``"choices"`` is the
+            original O(k)-per-step ``random.choices`` path, kept for A/B
+            verification. Both consume exactly one ``random()`` per draw
+            over float-identical cumulative sums, so the merged traces are
+            **byte-identical** (property-tested) — which is why the mode
+            is deliberately excluded from ``canonical_material``: it can
+            never change the trace, so it must not split cache entries.
     """
 
-    def __init__(self, config: TenantMixConfig, seed: int = 0) -> None:
+    def __init__(
+        self,
+        config: TenantMixConfig,
+        seed: int = 0,
+        merge_mode: str = "bisect",
+    ) -> None:
+        if merge_mode not in MERGE_MODES:
+            raise GrammarError(
+                f"merge_mode must be one of {MERGE_MODES}, got {merge_mode!r}"
+            )
         self.config = config
         self.seed = seed
+        self.merge_mode = merge_mode
 
     def canonical_material(self) -> dict[str, Any]:
         return {"workload": "tenant-mix", "config": self.config, "seed": self.seed}
@@ -262,12 +288,100 @@ class TenantMix:
         it commits or aborts, so transaction blocks stay contiguous.
         Exhausted tenants leave the draw; the trace ends when all are done.
         """
-        tenants = self.config.tenants
-        stride = len(tenants)
-        rng = random.Random(self.seed)
         streams: list[Iterator[TraceEvent]] = [
             workload.events() for workload in self.tenant_workloads()
         ]
+        if self.merge_mode == "choices":
+            return self._merge_choices(streams)
+        return self._merge_bisect(streams)
+
+    def stream(self, max_live_clusters: int = 512) -> Iterator[TraceEvent]:
+        """The merged **unbounded** stream (one-shot, bounded memory).
+
+        Every tenant runs its :meth:`~repro.workload.grammar.
+        GrammarWorkload.stream` — cycling phases forever with at most
+        ``max_live_clusters`` live clusters each — and the draw table is
+        built exactly once (no tenant ever exhausts). Like the finite
+        trace, the stream is a pure function of (config, seed, cap):
+        re-instantiating the mix and islicing reproduces any suffix, which
+        is what lets a recovered service resume mid-stream.
+        """
+        tenants = self.config.tenants
+        stride = len(tenants)
+        rng = random.Random(self.seed)
+        streams = [
+            workload.stream(max_live_clusters)
+            for workload in self.tenant_workloads()
+        ]
+        weights = [tenant.weight for tenant in tenants]
+        cum_weights = list(accumulate(weights))
+        total = cum_weights[-1] + 0.0
+        hi = stride - 1
+        random_ = rng.random
+        while True:
+            index = bisect(cum_weights, random_() * total, 0, hi)
+            in_transaction = False
+            while True:
+                event = next(streams[index])
+                yield _remap_event(event, stride, index, tenants[index].name)
+                if isinstance(event, BeginTransactionEvent):
+                    in_transaction = True
+                elif isinstance(event, (CommitTransactionEvent, AbortTransactionEvent)):
+                    in_transaction = False
+                if not in_transaction:
+                    break
+
+    def _merge_bisect(
+        self, streams: list[Iterator[TraceEvent]]
+    ) -> Iterator[TraceEvent]:
+        """K-way merge with a cached cumulative-weight table.
+
+        ``random.choices`` rebuilds its cumulative sums on every call —
+        O(k) per merge step. This path computes the identical table once
+        (``itertools.accumulate`` over the same weights list, so every
+        float sum is bit-equal), draws with one ``rng.random()`` through
+        the same ``bisect(cum, u * total, 0, hi)`` the stdlib uses, and
+        rebuilds only when a tenant exhausts — O(log k) per step, at most
+        k rebuilds per trace, byte-identical output.
+        """
+        tenants = self.config.tenants
+        stride = len(tenants)
+        rng = random.Random(self.seed)
+        live = list(range(stride))
+        weights = [tenants[i].weight for i in live]
+        cum_weights = list(accumulate(weights))
+        total = cum_weights[-1] + 0.0
+        hi = len(cum_weights) - 1
+        random_ = rng.random
+        while live:
+            pick = bisect(cum_weights, random_() * total, 0, hi)
+            index = live[pick]
+            in_transaction = False
+            while True:
+                event = next(streams[index], None)
+                if event is None:
+                    del live[pick]
+                    del weights[pick]
+                    if live:
+                        cum_weights = list(accumulate(weights))
+                        total = cum_weights[-1] + 0.0
+                        hi = len(cum_weights) - 1
+                    break
+                yield _remap_event(event, stride, index, tenants[index].name)
+                if isinstance(event, BeginTransactionEvent):
+                    in_transaction = True
+                elif isinstance(event, (CommitTransactionEvent, AbortTransactionEvent)):
+                    in_transaction = False
+                if not in_transaction:
+                    break
+
+    def _merge_choices(
+        self, streams: list[Iterator[TraceEvent]]
+    ) -> Iterator[TraceEvent]:
+        """The original ``random.choices`` merge (A/B reference path)."""
+        tenants = self.config.tenants
+        stride = len(tenants)
+        rng = random.Random(self.seed)
         live = list(range(stride))
         weights = [tenants[i].weight for i in live]
         while live:

@@ -1,0 +1,171 @@
+"""GcService: parity with plain simulation, checkpoints, graceful shutdown."""
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.faults.drill import state_digest
+from repro.service.config import ServiceConfig
+from repro.service.server import GcService
+from repro.service.stream import ReplayableStream, finite_stream, grammar_stream
+from repro.sim.simulator import Simulation, SimulationConfig
+from repro.sim.spec import PolicySpec, build_policy
+from repro.workload.tenants import make_profile
+
+POLICY = PolicySpec("fixed", {"overwrites_per_collection": 200.0})
+
+
+def _events(n=8000, seed=7):
+    stream = grammar_stream(make_profile("oltp-churn"), seed=seed)
+    return list(itertools.islice(stream.events_from(), n))
+
+
+def _service(stream, **knobs):
+    defaults = dict(max_events=8000, checkpoint_every_events=2000)
+    defaults.update(knobs)
+    return GcService(
+        policy=build_policy(POLICY, 7),
+        stream=stream,
+        service=ServiceConfig(**defaults),
+    )
+
+
+def test_service_matches_plain_simulation():
+    """The service loop is the simulation loop plus durability plumbing.
+
+    Over the same finite event sequence (backpressure off), the committed
+    reachable state must be byte-identical to a redo-logging Simulation's.
+    """
+    events = _events()
+    service = _service(finite_stream(events))
+    report = service.run()
+
+    sim = Simulation(
+        policy=build_policy(POLICY, 7),
+        config=SimulationConfig(enable_redo_log=True, enable_wal=True),
+    )
+    sim.run(events)
+
+    assert report.events_applied == len(events)
+    assert report.final_digest == state_digest(sim.store)
+
+
+def test_checkpoints_truncate_the_log():
+    events = _events()
+    service = _service(finite_stream(events))
+    report = service.run()
+    # 8000 events / 2000 cadence = 3 interior checkpoints + 1 final.
+    assert report.checkpoints >= 4
+    assert report.log_suffix_length == 0  # final checkpoint flushed
+    assert report.log_truncated_total > 0
+    assert report.wal["checkpoints"] == report.checkpoints
+    log = service.sim.redo_log
+    assert log.checkpoints_installed == report.checkpoints
+    assert log.last_checkpoint() is not None
+
+
+def test_max_log_records_forces_early_checkpoint():
+    events = _events(4000)
+    service = _service(
+        finite_stream(events),
+        max_events=4000,
+        checkpoint_every_events=1_000_000,  # cadence never fires
+        max_log_records=500,
+    )
+    report = service.run()
+    assert report.checkpoints > 1  # backlog bound forced interior ones
+    assert service.sim.redo_log.suffix_length == 0
+
+
+def test_graceful_shutdown_drains_and_resumes():
+    """Shutdown stops at a quiescent point; a successor resumes exactly."""
+    events = _events()
+    trigger_at = 3111
+    holder = {}
+
+    def factory():
+        def gen():
+            for index, event in enumerate(events):
+                if index == trigger_at:
+                    holder["svc"].request_shutdown()
+                yield event
+
+        return gen()
+
+    stream = ReplayableStream(factory=factory, label="shutdown-test")
+    first = _service(stream, max_events=None)
+    holder["svc"] = first
+    report = first.run()
+    assert report.stopped == "shutdown"
+    assert trigger_at <= report.events_seen < len(events)
+    assert report.log_suffix_length == 0  # final checkpoint covered it all
+
+    # A fresh service resumes from next_index over the same underlying
+    # events and must land on the full-run digest.
+    rest = finite_stream(events, label="rest")
+    second = GcService(
+        policy=build_policy(POLICY, 7),
+        stream=rest,
+        service=ServiceConfig(max_events=None),
+        store=None,
+        redo_log=first.sim.redo_log,
+    )
+    # Recover exactly as a restart would: from the final checkpoint.
+    from repro.tx.recovery import recover_with_info
+
+    recovered, info = recover_with_info(first.sim.redo_log)
+    assert info.from_checkpoint
+    assert info.records_replayed == 0  # nothing after the final checkpoint
+    second = GcService(
+        policy=build_policy(POLICY, 7),
+        stream=rest,
+        service=ServiceConfig(max_events=None),
+        store=recovered,
+        redo_log=first.sim.redo_log,
+    )
+    second.run(start_index=report.next_index)
+
+    reference = _service(finite_stream(events))
+    ref_report = reference.run()
+    assert state_digest(second.sim.store) == ref_report.final_digest
+
+
+def test_pacing_is_wall_clock_only():
+    events = _events(600)
+    paced = _service(
+        finite_stream(events), max_events=600, target_ops_per_s=20_000.0
+    )
+    unpaced = _service(finite_stream(events), max_events=600)
+    paced_report = paced.run()
+    unpaced_report = unpaced.run()
+    assert paced_report.final_digest == unpaced_report.final_digest
+    assert paced_report.paced_sleep_s > 0.0
+
+
+def test_service_forces_redo_and_wal_on():
+    service = GcService(
+        policy=build_policy(POLICY, 7),
+        stream=finite_stream([]),
+        sim_config=SimulationConfig(enable_redo_log=False, enable_wal=False),
+    )
+    assert service.sim.redo_log is not None
+    assert service.sim.tx.wal is not None
+
+
+def test_service_config_validation():
+    with pytest.raises(ValueError):
+        ServiceConfig(target_ops_per_s=0.0)
+    with pytest.raises(ValueError):
+        ServiceConfig(checkpoint_every_events=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(max_log_records=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(max_heap_bytes=0)
+    with pytest.raises(ValueError):
+        ServiceConfig(backpressure="drop")
+    with pytest.raises(ValueError):
+        ServiceConfig(max_events=-1)
+    frozen = ServiceConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        frozen.backpressure = "shed"

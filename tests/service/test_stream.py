@@ -1,0 +1,99 @@
+"""Replayable streams: resume exactness and bounded generator state."""
+
+import itertools
+
+import pytest
+
+from repro.events import CreateEvent, PointerWriteEvent
+from repro.service.stream import (
+    ReplayableStream,
+    finite_stream,
+    grammar_stream,
+    tenant_stream,
+)
+from repro.workload.grammar import GrammarWorkload
+from repro.workload.tenants import make_profile, tenant_mix
+
+
+def take(stream, n, start=0):
+    return list(itertools.islice(stream.events_from(start), n))
+
+
+def test_finite_stream_replays_identically():
+    events = take(grammar_stream(make_profile("oltp-churn"), seed=1), 500)
+    stream = finite_stream(events, label="t")
+    assert take(stream, 500) == events
+    assert take(stream, 500) == events  # factory restarts, not one-shot
+
+
+def test_events_from_negative_rejected():
+    stream = finite_stream([], label="t")
+    with pytest.raises(ValueError):
+        stream.events_from(-1)
+
+
+@pytest.mark.parametrize("start", [0, 1, 997, 5000])
+def test_grammar_stream_resumes_at_exact_index(start):
+    stream = grammar_stream(make_profile("oltp-churn"), seed=9)
+    full = take(stream, start + 300)
+    resumed = take(stream, 300, start=start)
+    assert resumed == full[start:]
+
+
+def test_tenant_stream_resumes_at_exact_index():
+    config = tenant_mix(["oltp-churn", "read-browse"], scale=0.5)
+    stream = tenant_stream(config, seed=4)
+    full = take(stream, 4000)
+    assert take(stream, 1500, start=2500) == full[2500:]
+
+
+def test_grammar_stream_bounds_generator_state():
+    workload = GrammarWorkload(make_profile("oltp-churn"), seed=3)
+    consumed = 0
+    for _event in workload.stream(max_live_clusters=16):
+        consumed += 1
+        if consumed >= 30_000:
+            break
+    # Live clusters capped, per-oid size tracking off: O(1) in the stream.
+    assert len(workload.clusters) <= 16
+    assert workload.object_sizes == {}
+
+
+def test_grammar_stream_recycles_registry_slots():
+    """Unbounded streams must not mint one registry slot per cluster ever.
+
+    Slot reuse keeps the registry object's pointer dictionary (and hence
+    the modelled store) bounded: after tens of thousands of events the
+    slot counter must stay within the live-cluster cap plus setup slack,
+    not grow linearly with churn.
+    """
+    workload = GrammarWorkload(make_profile("oltp-churn"), seed=3)
+    creates = 0
+    for event in workload.stream(max_live_clusters=16):
+        if isinstance(event, CreateEvent):
+            creates += 1
+        if creates >= 10_000:
+            break
+    assert workload._next_slot <= 16 + workload.config.initial_clusters + 1
+    assert len(workload._free_slots) <= workload._next_slot
+
+
+def test_finite_mode_does_not_recycle_slots():
+    """The one-shot trace keeps its historical slot naming (A/B stability)."""
+    workload = GrammarWorkload(make_profile("oltp-churn"), seed=3)
+    events = list(workload.events())
+    slots = {
+        e.slot
+        for e in events
+        if isinstance(e, PointerWriteEvent) and e.target is not None
+    }
+    assert workload._free_slots == []
+    assert workload._next_slot >= len(slots) - 1  # registry link slots
+
+
+def test_replayable_stream_material_is_plain_data():
+    stream = grammar_stream(make_profile("read-browse"), seed=2)
+    assert stream.material["kind"] == "grammar"
+    assert stream.material["seed"] == 2
+    assert stream.label == "read-browse"
+    assert ReplayableStream(factory=list, label="x").material == {}

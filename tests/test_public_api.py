@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.gc",
     "repro.obs",
     "repro.oo7",
+    "repro.service",
     "repro.sim",
     "repro.storage",
     "repro.tx",

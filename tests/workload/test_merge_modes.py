@@ -1,0 +1,97 @@
+"""A/B: the bisect k-way merge is byte-identical to ``random.choices``.
+
+The ``bisect`` path exists purely as an O(log k)-per-step optimisation of
+the original O(k) ``random.choices`` draw; both consume exactly one
+``rng.random()`` per merge step over float-identical cumulative sums, so
+the merged traces must be **equal event-for-event** — including across
+tenant-exhaustion rebuilds of the draw table. Because the mode can never
+change the trace, it is excluded from ``canonical_material`` and must not
+split trace-cache entries.
+"""
+
+import itertools
+
+import pytest
+
+from repro.workload.grammar import OpMix, PhaseBlock, WorkloadConfig
+from repro.workload.tenants import (
+    MERGE_MODES,
+    TenantMix,
+    TenantMixConfig,
+    TenantSpec,
+    tenant_mix,
+)
+
+
+def _config(name, operations, create=2, delete=1, access=3):
+    return WorkloadConfig(
+        name=name,
+        phases=(
+            PhaseBlock(
+                name="p",
+                operations=operations,
+                mix=OpMix(create=create, delete=delete, access=access),
+            ),
+        ),
+        initial_clusters=4,
+    )
+
+
+def _uneven_mix():
+    """Tenants of very different lengths: forces draw-table rebuilds.
+
+    When the short tenant exhausts mid-merge, the bisect path must rebuild
+    its cached cumulative table exactly where ``random.choices`` would
+    narrow its population — the divergence-prone case the A/B guards.
+    """
+    return TenantMixConfig(
+        name="uneven",
+        tenants=(
+            TenantSpec(name="short", config=_config("s", 30), weight=3.0),
+            TenantSpec(name="long", config=_config("l", 400), weight=1.0),
+            TenantSpec(name="mid", config=_config("m", 120), weight=2.0),
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 42, 1999])
+def test_merge_modes_are_byte_identical(seed):
+    a = list(TenantMix(_uneven_mix(), seed=seed, merge_mode="bisect").events())
+    b = list(TenantMix(_uneven_mix(), seed=seed, merge_mode="choices").events())
+    assert a == b
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_merge_modes_identical_on_profiles(seed):
+    config = tenant_mix(["oltp-churn", "read-browse"], scale=0.2)
+    a = list(TenantMix(config, seed=seed, merge_mode="bisect").events())
+    b = list(TenantMix(config, seed=seed, merge_mode="choices").events())
+    assert a == b
+
+
+def test_merge_mode_excluded_from_canonical_material():
+    config = _uneven_mix()
+    materials = {
+        mode: TenantMix(config, seed=5, merge_mode=mode).canonical_material()
+        for mode in MERGE_MODES
+    }
+    assert materials["bisect"] == materials["choices"]
+
+
+def test_unknown_merge_mode_rejected():
+    from repro.workload.grammar import GrammarError
+
+    with pytest.raises(GrammarError):
+        TenantMix(_uneven_mix(), merge_mode="heap")
+
+
+def test_unbounded_stream_draw_matches_bisect_semantics():
+    """The service stream uses the same cached-table draw (no exhaustion)."""
+    config = tenant_mix(["oltp-churn", "read-browse"], scale=0.5)
+    first = list(
+        itertools.islice(TenantMix(config, seed=9).stream(max_live_clusters=32), 2000)
+    )
+    again = list(
+        itertools.islice(TenantMix(config, seed=9).stream(max_live_clusters=32), 2000)
+    )
+    assert first == again
