@@ -4,8 +4,12 @@ Tracks the engine's performance trajectory with a standard suite:
 
 * ``figure1_cell`` — one Figure 1 cell end-to-end (build the OO7 trace,
   replay it under a fixed-rate policy): the representative experiment cost.
-* ``traverse_replay`` — replay of a prebuilt trace only (no build), the
-  pure inner-loop throughput number in events/second.
+* ``traverse_replay`` — replay of a prebuilt compiled trace only (no
+  build), the pure inner-loop throughput number in events/second under
+  the default batched interpreter.
+* ``batch_replay`` — scalar vs batched interpreter on the same compiled
+  trace: events/s per mode, speedup, opcode run-length histogram, and a
+  pickle-equality assertion on the two summaries.
 * ``collection_throughput`` — collector-only throughput (collections/s and
   traced objects per collection) for the remembered-set frontier vs the
   full-scan baseline, asserting both produce pickle-equal summaries.
@@ -66,6 +70,7 @@ BENCH_FORMAT = 1
 GATED_METRICS = (
     "figure1_cell.events_per_s",
     "traverse_replay.events_per_s",
+    "batch_replay.batched.events_per_s",
     "collection_throughput.remembered.collections_per_s",
     "multi_tenant_replay.events_per_s",
 )
@@ -133,41 +138,81 @@ def _telemetered_replay(telemetry, name: str, spec, events) -> None:
 
 
 def bench_figure1_cell(quick: bool, repeats: int, telemetry=None) -> dict:
-    """One Figure 1 cell end-to-end: trace build + policy replay."""
+    """One Figure 1 cell end-to-end: trace build + policy replay.
+
+    Build, replay and collection wall time are reported separately (the
+    collector's ``collect`` calls are timed from inside the run), so a
+    replay-only regression is visible even when collection cost dominates
+    the end-to-end number.
+    """
     from repro.sim.spec import build_workload
 
     spec = _cell_spec(_bench_config(quick))
 
-    def cell():
+    best_wall = float("inf")
+    best = None
+    events = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
         events = list(build_workload(spec.workload, 0))
-        result = _new_simulation(spec, 0).run(events)
-        return events, result.summary.collections
+        build_s = time.perf_counter() - started
+        sim = _new_simulation(spec, 0)
+        collector = sim.collector
+        inner = collector.collect
+        gc_wall = 0.0
 
-    wall, (events, collections) = _best_of(repeats, cell)
+        def timed(pid):
+            nonlocal gc_wall
+            gc_started = time.perf_counter()
+            result = inner(pid)
+            gc_wall += time.perf_counter() - gc_started
+            return result
+
+        collector.collect = timed
+        result = sim.run(events)
+        wall = time.perf_counter() - started
+        if wall < best_wall:
+            best_wall = wall
+            best = (result.summary.collections, build_s, gc_wall)
+    collections, build_s, gc_wall = best
+    replay_s = best_wall - build_s - gc_wall
     if telemetry is not None:
         _telemetered_replay(telemetry, "figure1_cell", spec, events)
     return {
-        "wall_s": round(wall, 4),
+        "wall_s": round(best_wall, 4),
+        "build_s": round(build_s, 4),
+        "replay_s": round(replay_s, 4),
+        "gc_s": round(gc_wall, 4),
         "events": len(events),
         "collections": collections,
-        "events_per_s": round(len(events) / wall, 1),
+        "events_per_s": round(len(events) / best_wall, 1),
+        "replay_events_per_s": round(len(events) / replay_s, 1)
+        if replay_s > 0
+        else float("inf"),
     }
 
 
 def bench_traverse_replay(quick: bool, repeats: int, telemetry=None) -> dict:
     """Replay throughput over a prebuilt trace — the inner-loop number.
 
-    The trace is built once outside the timed region; a sparse fixed rate
-    keeps collection cost low so the per-event replay path dominates.
+    The trace is built and compiled once outside the timed region, so the
+    default ``replay="auto"`` drives the batched interpreter of
+    :mod:`repro.sim.batch` — the configuration every experiment runner
+    replays under. A sparse fixed rate keeps collection cost low so the
+    per-event replay path dominates. (``batch_replay`` below reports the
+    scalar interpreter on the same trace, with the speedup.)
     """
     from repro.sim.spec import build_workload
+    from repro.workload.compiled import compile_trace
 
     spec = _cell_spec(_bench_config(quick), rate=800.0)
     events = list(build_workload(spec.workload, 0))
+    trace = compile_trace(events)
 
     def replay():
-        return _new_simulation(spec, 0).run(events).summary.collections
+        return _new_simulation(spec, 0).run(trace).summary.collections
 
+    replay()  # untimed warmup: builds the per-trace batch column cache
     wall, collections = _best_of(repeats, replay)
     if telemetry is not None:
         _telemetered_replay(telemetry, "traverse_replay", spec, events)
@@ -176,6 +221,79 @@ def bench_traverse_replay(quick: bool, repeats: int, telemetry=None) -> dict:
         "events": len(events),
         "collections": collections,
         "events_per_s": round(len(events) / wall, 1),
+    }
+
+
+def bench_batch_replay(quick: bool, repeats: int, telemetry=None) -> dict:
+    """Scalar vs batched interpreter on the same prebuilt compiled trace.
+
+    Both modes replay the identical trace under the identical policy; the
+    scalar leg drives the per-event dispatch loop, the batched leg the
+    run-sliced interpreter of :mod:`repro.sim.batch`. Summaries must stay
+    pickle-equal — the speedup is never bought with a behaviour change.
+    The opcode run-length histogram (power-of-two buckets) shows the run
+    structure the batched interpreter exploits.
+    """
+    import pickle
+    from dataclasses import replace
+
+    from repro.sim.spec import build_workload
+    from repro.workload.compiled import compile_trace
+
+    spec = _cell_spec(_bench_config(quick), rate=800.0)
+    events = list(build_workload(spec.workload, 0))
+    trace = compile_trace(events)
+
+    ops = trace.ops
+    histogram: dict[str, int] = {}
+    n = len(ops)
+    i = 0
+    while i < n:
+        op = ops[i]
+        j = i + 1
+        while j < n and ops[j] == op:
+            j += 1
+        length = j - i
+        low = 1 << (length.bit_length() - 1)
+        label = "1" if low == 1 else f"{low}-{2 * low - 1}"
+        histogram[label] = histogram.get(label, 0) + 1
+        i = j
+    histogram = {
+        label: histogram[label]
+        for label in sorted(histogram, key=lambda k: int(k.split("-")[0]))
+    }
+
+    scalar_spec = replace(spec, sim=replace(spec.sim, replay="scalar"))
+    batched_spec = replace(spec, sim=replace(spec.sim, replay="batched"))
+
+    def scalar():
+        return _new_simulation(scalar_spec, 0).run(events).summary
+
+    def batched():
+        return _new_simulation(batched_spec, 0).run(trace).summary
+
+    batched()  # untimed warmup: builds the per-trace batch column cache
+    scalar_wall, scalar_summary = _best_of(repeats, scalar)
+    batched_wall, batched_summary = _best_of(repeats, batched)
+    if telemetry is not None:
+        _telemetered_replay(telemetry, "batch_replay", spec, events)
+    return {
+        "events": len(events),
+        "collections": batched_summary.collections,
+        "scalar": {
+            "wall_s": round(scalar_wall, 4),
+            "events_per_s": round(len(events) / scalar_wall, 1),
+        },
+        "batched": {
+            "wall_s": round(batched_wall, 4),
+            "events_per_s": round(len(events) / batched_wall, 1),
+        },
+        "speedup": round(scalar_wall / batched_wall, 2)
+        if batched_wall > 0
+        else float("inf"),
+        "summaries_match": pickle.dumps(scalar_summary)
+        == pickle.dumps(batched_summary),
+        "run_length_histogram": histogram,
     }
 
 
@@ -387,6 +505,7 @@ def bench_multi_tenant_replay(quick: bool, repeats: int, telemetry=None) -> dict
 SUITE = (
     ("figure1_cell", bench_figure1_cell),
     ("traverse_replay", bench_traverse_replay),
+    ("batch_replay", bench_batch_replay),
     ("collection_throughput", bench_collection_throughput),
     ("trace_compile_load", bench_trace_compile_load),
     ("sweep_trace_cache", bench_sweep_trace_cache),
@@ -486,12 +605,21 @@ def _format_report(doc: dict) -> str:
     cell = r["figure1_cell"]
     lines.append(
         f"  figure1_cell:       {cell['wall_s']:.3f}s "
-        f"({cell['events_per_s']:,.0f} events/s incl. build)"
+        f"({cell['events_per_s']:,.0f} events/s incl. build; "
+        f"build {cell['build_s']:.3f}s, replay {cell['replay_s']:.3f}s, "
+        f"gc {cell['gc_s']:.3f}s)"
     )
     rep = r["traverse_replay"]
     lines.append(
         f"  traverse_replay:    {rep['wall_s']:.3f}s "
         f"({rep['events_per_s']:,.0f} events/s, {rep['collections']} collections)"
+    )
+    br = r["batch_replay"]
+    lines.append(
+        f"  batch_replay:       batched "
+        f"{br['batched']['events_per_s']:,.0f} events/s vs scalar "
+        f"{br['scalar']['events_per_s']:,.0f} events/s "
+        f"({br['speedup']:g}x, summaries match: {br['summaries_match']})"
     )
     ct = r["collection_throughput"]
     lines.append(

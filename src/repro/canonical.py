@@ -23,11 +23,13 @@ from typing import Any, Mapping
 
 #: Dataclass fields excluded from canonical material, by class name.
 #: ``SimulationConfig.reachability`` selects *how* the collection frontier is
-#: computed, not *what* is simulated — both modes produce identical results
-#: (property-tested), so including it would split the result cache in two and
-#: invalidate every fingerprint minted before the field existed.
+#: computed, and ``SimulationConfig.replay`` selects *which interpreter*
+#: drives the trace — neither changes *what* is simulated: each mode pair
+#: produces identical results (property-tested), so including them would
+#: split the result cache and invalidate every fingerprint minted before
+#: the fields existed.
 CANONICAL_EXCLUDED_FIELDS: dict[str, frozenset[str]] = {
-    "SimulationConfig": frozenset({"reachability"}),
+    "SimulationConfig": frozenset({"reachability", "replay"}),
 }
 
 

@@ -167,6 +167,7 @@ def _default_sim_config(
     partition_pages: int = DEFAULT_PARTITION_PAGES,
     buffer_pages: int = DEFAULT_BUFFER_PAGES,
     preamble: int = 0,
+    replay: str = "auto",
 ) -> SimulationConfig:
     return SimulationConfig(
         store=StoreConfig(
@@ -175,6 +176,7 @@ def _default_sim_config(
             buffer_pages=buffer_pages,
         ),
         preamble_collections=preamble,
+        replay=replay,
     )
 
 
@@ -309,6 +311,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--retries", type=int, default=0)
     parser.add_argument("--run-timeout", type=float, default=None)
     parser.add_argument(
+        "--replay",
+        choices=("auto", "batched", "scalar"),
+        default="auto",
+        help=(
+            "replay interpreter: auto (batched where eligible), batched, "
+            "or scalar — all three produce identical reports; the replay "
+            "choice is excluded from result-cache fingerprints"
+        ),
+    )
+    parser.add_argument(
         "--expect-all-cached",
         action="store_true",
         help=(
@@ -356,7 +368,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scenario,
             policies,
             shard=args.shard,
-            sim=_default_sim_config(preamble=args.preamble),
+            sim=_default_sim_config(preamble=args.preamble, replay=args.replay),
         )
     except (GrammarError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)

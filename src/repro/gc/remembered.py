@@ -221,11 +221,13 @@ def full_scan_frontier(
     roots = store.roots & residents
     roots |= store.unlinked & residents
     page_size = store.config.page_size
-    placements = store.placements
+    # Int-only reads of the flat placement columns: this scan visits every
+    # heap object, so a Placement snapshot per object would dominate it.
+    locate = store.placements.locate
     pages: set["PageId"] = set()
     for src, obj in store.objects.items():
-        placement = placements.get(src)
-        if placement is None or placement.partition == pid:
+        loc = locate(src)
+        if loc is None or loc[0] == pid:
             continue
         referenced = False
         for target in obj.targets():
@@ -233,7 +235,9 @@ def full_scan_frontier(
                 roots.add(target)
                 referenced = True
         if referenced:
-            src_pid = placement.partition
-            for index in placement.pages(page_size):
+            src_pid, offset, size = loc
+            first = offset // page_size
+            last = (offset + size - 1) // page_size
+            for index in range(first, last + 1):
                 pages.add((src_pid, index))
     return roots, pages

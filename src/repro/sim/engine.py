@@ -185,22 +185,6 @@ def _as_trace_cache(cache: TraceCacheLike) -> Optional[TraceCache]:
     return TraceCache(cache)
 
 
-def _deadline_guard(trace, deadline: float):
-    """Yield ``trace``'s events until the monotonic ``deadline`` passes.
-
-    The portable timeout mechanism: one clock read per event, no signals —
-    works on every platform (SIGALRM does not exist on Windows), in worker
-    threads (``signal.signal`` is main-thread-only), and composes with any
-    number of concurrent runs. Granularity is one event, which is the
-    simulation's natural unit of forward progress.
-    """
-    monotonic = time.monotonic
-    for event in trace:
-        if monotonic() >= deadline:
-            raise RunTimeoutError("simulation run exceeded run_timeout")
-        yield event
-
-
 def _simulate(
     spec: ExperimentSpec,
     seed: int,
@@ -241,18 +225,19 @@ def _simulate(
         trace = trace_cache.get_or_build(spec.workload, seed)
     else:
         policy, trace, selection = spec.resolve(seed)
-    if deadline is not None:
-        trace = _deadline_guard(trace, deadline)
     faults = FaultInjector(spec.faults) if spec.faults is not None else None
     sim = Simulation(
         policy=policy, selection=selection, config=spec.sim, faults=faults,
         obs=obs,
     )
+    # The deadline is handed to the run itself (scalar replay wraps the
+    # trace in a per-event guard; batched replay checks it in-loop) so the
+    # CompiledTrace columns stay visible to the interpreter choice.
     if obs is not None:
         with obs.span("simulate"):
-            result = sim.run(trace)
+            result = sim.run(trace, deadline=deadline)
     else:
-        result = sim.run(trace)
+        result = sim.run(trace, deadline=deadline)
     if deadline is not None and time.monotonic() >= deadline:
         raise RunTimeoutError("simulation run exceeded run_timeout")
     elapsed = time.perf_counter() - started

@@ -179,6 +179,26 @@ _RUN_KINDS[IdleEvent] = 2
 _MUTATING_MEMO: dict[type, bool] = {}
 
 
+def _deadline_guard(trace, deadline: float):
+    """Yield ``trace``'s events until the monotonic ``deadline`` passes.
+
+    The portable timeout mechanism for the scalar replay loop: one clock
+    read per event, no signals — works on every platform (SIGALRM does not
+    exist on Windows), in worker threads (``signal.signal`` is
+    main-thread-only), and composes with any number of concurrent runs.
+    Granularity is one event, which is the simulation's natural unit of
+    forward progress. The batched interpreter enforces the same deadline
+    itself (:mod:`repro.sim.batch`).
+    """
+    monotonic = time.monotonic
+    for event in trace:
+        if monotonic() >= deadline:
+            from repro.sim.engine import RunTimeoutError
+
+            raise RunTimeoutError("simulation run exceeded run_timeout")
+        yield event
+
+
 @dataclass
 class SimulationConfig:
     """Knobs of a simulation run.
@@ -213,6 +233,17 @@ class SimulationConfig:
             ``collection_throughput`` benchmark. Excluded from experiment
             fingerprints for the same reason — see
             :mod:`repro.sim.spec`.
+        replay: Which replay interpreter drives the run. ``"auto"``
+            (default) uses the batched interpreter of :mod:`repro.sim.batch`
+            whenever the trace is a
+            :class:`~repro.workload.compiled.CompiledTrace` and the
+            simulation is the stock :class:`Simulation` class, falling back
+            to the scalar per-event loop otherwise; ``"batched"`` compiles
+            plain event traces first and then requires the batched path;
+            ``"scalar"`` forces the per-event loop. Both interpreters are
+            result-identical (summaries pickle-equal, property-tested), so
+            this field — like ``reachability`` — is excluded from experiment
+            fingerprints.
     """
 
     store: StoreConfig = field(default_factory=StoreConfig)
@@ -225,6 +256,7 @@ class SimulationConfig:
     wal_page_size: int = 8 * 1024
     enable_redo_log: bool = False
     reachability: str = "remembered"
+    replay: str = "auto"
 
 
 @dataclass
@@ -279,6 +311,11 @@ class Simulation:
             ``fault_hook`` idiom, so the disabled path costs nothing).
         """
         self.config = config or SimulationConfig()
+        if self.config.replay not in ("auto", "batched", "scalar"):
+            raise ValueError(
+                f"replay must be 'auto', 'batched' or 'scalar', "
+                f"got {self.config.replay!r}"
+            )
         self.policy = policy
         self.selection = selection or UpdatedPointerSelection()
         self.store = store if store is not None else ObjectStore(self.config.store)
@@ -323,7 +360,11 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def run(
-        self, trace: Iterable[TraceEvent], start_index: int = 0
+        self,
+        trace: Iterable[TraceEvent],
+        start_index: int = 0,
+        *,
+        deadline: Optional[float] = None,
     ) -> SimulationResult:
         """Replay a trace to completion and return the results.
 
@@ -332,11 +373,37 @@ class Simulation:
         trace together with the crash's ``resume_index`` so the resumed run
         re-executes exactly the events whose effects were lost.
 
+        ``deadline`` is a ``time.monotonic`` instant after which the run
+        raises :class:`~repro.sim.engine.RunTimeoutError`; the engine passes
+        its per-run timeout this way so the batched interpreter can enforce
+        it without the trace being wrapped in a per-event generator (which
+        would hide the :class:`~repro.workload.compiled.CompiledTrace`
+        columns the batched path reads).
+
         An injected crash propagates as :class:`~repro.faults.injector.
         SimulatedCrash`, annotated with the current ``event_index`` and the
         ``resume_index`` a continuation must restart from (the begin of the
         transaction in flight, or the next unprocessed event).
         """
+        replay = self.config.replay
+        # Subclasses may override _apply/_dispatch/_note_activity; the
+        # batched interpreter inlines those hooks, so anything other than
+        # the stock Simulation class replays scalar.
+        if replay != "scalar" and type(self) is Simulation:
+            from repro.workload.compiled import CompiledTrace, compile_trace
+
+            if isinstance(trace, CompiledTrace):
+                compiled = trace
+            elif replay == "batched":
+                compiled = compile_trace(trace)
+            else:
+                compiled = None
+            if compiled is not None:
+                from repro.sim.batch import run_batched
+
+                return run_batched(self, compiled, start_index, deadline)
+        if deadline is not None:
+            trace = _deadline_guard(trace, deadline)
         if start_index:
             trace = itertools.islice(iter(trace), start_index, None)
         self._event_index = start_index - 1

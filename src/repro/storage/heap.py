@@ -21,6 +21,7 @@ store through the narrow support API at the bottom of this class.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -32,8 +33,14 @@ from repro.storage.buffer import (
 )
 from repro.storage.iostats import IOCategory, IOStats
 from repro.storage.object_model import ObjectId, ObjectKind, StoredObject
+from repro.storage.objtable import PlacementTable
 from repro.storage.partition import Partition, PartitionId, Placement
 from repro.storage.traversal import breadth_first_order
+
+#: Stale (zero-free) entries tolerated on the open-partition list before a
+#: prune pass rebuilds it; small enough that first-fit scans stay short,
+#: large enough that back-to-back partition fills don't each pay a rebuild.
+_OPEN_LIST_STALE_LIMIT = 16
 
 
 @dataclass(frozen=True)
@@ -109,8 +116,18 @@ class ObjectStore:
         self.buffer = BufferPool(self.config.buffer_pages, self.iostats)
         self.partitions: list[Partition] = []
         self.objects: dict[ObjectId, StoredObject] = {}
-        self.placements: dict[ObjectId, Placement] = {}
+        #: Flat structure-of-arrays placement columns (oid → partition /
+        #: offset / size); mapping-compatible with the dict it replaced.
+        self.placements = PlacementTable()
         self.roots: set[ObjectId] = set()
+        # First-fit accelerator: per-partition free bytes plus the ascending
+        # list of partitions that still have room. The list may carry stale
+        # (full) entries between prune passes; scans skip them by free-byte
+        # check, which is exact because object sizes are >= 1.
+        self._partition_free: list[int] = []
+        self._open_partitions: list[PartitionId] = []
+        self._open_set: set[PartitionId] = set()
+        self._open_stale = 0
         #: Allocation pinning: objects created but not yet referenced by any
         #: pointer or root registration. The application still holds a handle
         #: to such objects (it is about to link them), so the collector must
@@ -167,12 +184,12 @@ class ObjectStore:
         self._next_oid = max(self._next_oid, oid + 1)
 
         obj = StoredObject(oid=oid, size=size, kind=kind)
-        placement = self._place(oid, size)
+        pid, offset = self._place(oid, size)
         self.bytes_allocated_total += size
         self.objects[oid] = obj
-        self.placements[oid] = placement
+        self.placements.put(oid, pid, offset, size)
         self.unlinked.add(oid)
-        self.remembered.pin(placement.partition, oid)
+        self.remembered.pin(pid, oid)
         self._touch_object_pages(oid, IOCategory.APPLICATION, dirty=True)
 
         if pointers:
@@ -226,9 +243,9 @@ class ObjectStore:
 
         if old is not None:
             self.pointer_overwrites += 1
-            old_placement = self.placements.get(old)
-            if old_placement is not None:
-                self.partitions[old_placement.partition].pointer_overwrites += 1
+            old_pid = self.placements.part_of(old)
+            if old_pid >= 0:
+                self.partitions[old_pid].pointer_overwrites += 1
             self._forget_edge(src, old)
         else:
             self.pointer_stores += 1
@@ -245,7 +262,7 @@ class ObjectStore:
         """Add an object to the database's persistent root set."""
         self._require(oid)
         self.roots.add(oid)
-        self.remembered.add_root(self.placements[oid].partition, oid)
+        self.remembered.add_root(self.placements.part_of(oid), oid)
         if oid in self.unlinked:
             self._unpin(oid)
 
@@ -333,6 +350,8 @@ class ObjectStore:
             # tail of the bump extent directly.
             partition.fill -= placement.size
             self._allocated_bytes -= placement.size
+            self._partition_free[partition.pid] += placement.size
+            self._reopen_partition(partition.pid)
         for target in obj.targets():
             self._forget_edge(oid, target)
         dropped = partition.drop_incoming(oid)
@@ -364,7 +383,10 @@ class ObjectStore:
 
     def partition_of(self, oid: ObjectId) -> PartitionId:
         """The partition currently holding ``oid``."""
-        return self._placement(oid).partition
+        pid = self.placements.part_of(oid)
+        if pid < 0:
+            raise StoreError(f"object {oid} has no placement")
+        return pid
 
     def placement_of(self, oid: ObjectId) -> Placement:
         """Current placement (partition, offset, size) of ``oid``."""
@@ -444,9 +466,9 @@ class ObjectStore:
         collected partition are not traversed").
         """
         obj = self._require(oid)
+        part_of = self.placements.part_of
         for target in obj.targets():
-            placement = self.placements.get(target)
-            if placement is not None and placement.partition == pid:
+            if part_of(target) == pid:
                 yield target
 
     def compact_partition(self, pid: PartitionId, survivors: Sequence[ObjectId]) -> int:
@@ -469,11 +491,17 @@ class ObjectStore:
 
         fill_before = partition.fill
         partition.reset_for_compaction()
+        placements = self.placements
+        objects = self.objects
         for oid in survivors:
-            self.placements[oid] = partition.allocate(oid, self.objects[oid].size)
+            size = objects[oid].size
+            placements.put(oid, pid, partition.bump(oid, size), size)
         # The allocated-bytes ledger shrinks by the whole recovered extent:
         # reclaimed objects plus any holes left by transaction rollbacks.
         self._allocated_bytes -= fill_before - partition.fill
+        self._partition_free[pid] = partition.capacity - partition.fill
+        if partition.fill < partition.capacity:
+            self._reopen_partition(pid)
         return reclaimed_bytes
 
     def external_source_pages(self, pid: PartitionId) -> set[PageId]:
@@ -488,13 +516,15 @@ class ObjectStore:
         """
         pages: set[PageId] = set()
         page_size = self.config.page_size
-        placements = self.placements
+        locate = self.placements.locate
         for src in self.remembered.sources_in(pid):
-            placement = placements.get(src)
-            if placement is None:
+            loc = locate(src)
+            if loc is None:
                 continue
-            src_pid = placement.partition
-            for index in placement.pages(page_size):
+            src_pid, offset, size = loc
+            first = offset // page_size
+            last = (offset + size - 1) // page_size
+            for index in range(first, last + 1):
                 pages.add((src_pid, index))
         return pages
 
@@ -549,53 +579,98 @@ class ObjectStore:
         if target not in self.objects:
             raise StoreError(f"pointer target {target} does not exist")
 
-    def _place(self, oid: ObjectId, size: int) -> Placement:
-        """First-fit placement; grows the database when nothing fits (§3.1)."""
+    def _place(self, oid: ObjectId, size: int) -> tuple[PartitionId, int]:
+        """First-fit placement; grows the database when nothing fits (§3.1).
+
+        Scans only the open-partition list (ascending pids, so placement
+        decisions match a full scan exactly), bump-allocates, and keeps the
+        per-partition free-byte ledger in step. Returns ``(pid, offset)``.
+        """
         self._allocated_bytes += size
-        # First-fit scan with Partition.fits inlined — this is the hottest
-        # loop of database growth (every partition is consulted per create).
-        for partition in self.partitions:
-            if size <= partition.capacity - partition.fill:
-                return partition.allocate(oid, size)
+        free = self._partition_free
+        for pid in self._open_partitions:
+            if size <= free[pid]:
+                partition = self.partitions[pid]
+                break
+        else:
+            partition = self._grow_partition(size)
+            pid = partition.pid
+        offset = partition.bump(oid, size)
+        left = free[pid] - size
+        free[pid] = left
+        if left <= 0:
+            self._open_stale += 1
+            if self._open_stale >= _OPEN_LIST_STALE_LIMIT:
+                self._prune_open_partitions()
+        return pid, offset
+
+    def _grow_partition(self, size: int) -> Partition:
+        """Append a fresh partition big enough for a ``size``-byte object."""
         capacity = max(self.config.partition_size, size)
         partition = Partition(pid=len(self.partitions), capacity=capacity)
         self.partitions.append(partition)
         self._physical_bytes += capacity
-        return partition.allocate(oid, size)
+        self._partition_free.append(capacity)
+        self._open_partitions.append(partition.pid)
+        self._open_set.add(partition.pid)
+        return partition
+
+    def _reopen_partition(self, pid: PartitionId) -> None:
+        """Put ``pid`` back on the open list (space was recovered in it)."""
+        if pid not in self._open_set:
+            insort(self._open_partitions, pid)
+            self._open_set.add(pid)
+
+    def _prune_open_partitions(self) -> None:
+        # Slice-assign: the batched replay interpreter aliases this list, so
+        # the rebuild must preserve object identity.
+        free = self._partition_free
+        self._open_partitions[:] = [pid for pid in self._open_partitions if free[pid] > 0]
+        self._open_set.clear()
+        self._open_set.update(self._open_partitions)
+        self._open_stale = 0
 
     def _touch_object_pages(self, oid: ObjectId, category: IOCategory, dirty: bool) -> None:
-        # Inlined pages_of: one call per touched page matters at trace scale.
-        placement = self._placement(oid)
-        pid = placement.partition
+        # Inlined pages_of over the raw placement columns: one dict probe or
+        # dataclass allocation per touch matters at trace scale.
+        placements = self.placements
+        parts = placements.parts
+        if 0 <= oid < len(parts) and parts[oid] >= 0:
+            pid = parts[oid]
+            offset = placements.offs[oid]
+            size = placements.sizes[oid]
+        else:
+            loc = placements.locate(oid)
+            if loc is None:
+                raise StoreError(f"object {oid} has no placement")
+            pid, offset, size = loc
         page_size = self.config.page_size
         touch = self.buffer.touch
-        first = placement.offset // page_size
-        last = (placement.offset + placement.size - 1) // page_size
+        first = offset // page_size
+        last = (offset + size - 1) // page_size
         for index in range(first, last + 1):
             touch((pid, index), category, dirty=dirty)
 
     def _unpin(self, oid: ObjectId) -> None:
         """Drop ``oid``'s allocation pin (it became referenced or a root)."""
         self.unlinked.discard(oid)
-        self.remembered.unpin(self.placements[oid].partition, oid)
+        self.remembered.unpin(self.placements.part_of(oid), oid)
 
     def _remember_edge(self, src: ObjectId, target: ObjectId) -> None:
         src_pid = self.partition_of(src)
-        tgt_placement = self.placements.get(target)
-        if tgt_placement is None or tgt_placement.partition == src_pid:
+        tgt_pid = self.placements.part_of(target)
+        if tgt_pid < 0 or tgt_pid == src_pid:
             return
-        tgt_pid = tgt_placement.partition
         self.partitions[tgt_pid].remember(src, target)
         self.remembered.remember_source(tgt_pid, src)
 
     def _forget_edge(self, src: ObjectId, target: ObjectId) -> None:
-        tgt_placement = self.placements.get(target)
-        if tgt_placement is None:
+        tgt_pid = self.placements.part_of(target)
+        if tgt_pid < 0:
             return
-        src_placement = self.placements.get(src)
-        if src_placement is not None and src_placement.partition == tgt_placement.partition:
+        src_pid = self.placements.part_of(src)
+        if src_pid >= 0 and src_pid == tgt_pid:
             return
-        tgt_pid = tgt_placement.partition
         if self.partitions[tgt_pid].forget(src, target):
             self.remembered.forget_source(tgt_pid, src)
 
@@ -609,29 +684,52 @@ class ObjectStore:
         self.dead_bytes[pid] = self.dead_bytes.get(pid, 0) + obj.size
 
     def _reclaim(self, oid: ObjectId, pid: PartitionId) -> int:
-        """Bookkeeping for one object reclaimed by the collector."""
-        obj = self.objects.pop(oid)
-        placement = self.placements.pop(oid)
-        if placement.partition != pid:
-            raise StoreError(f"object {oid} reclaimed from wrong partition")
+        """Bookkeeping for one object reclaimed by the collector.
 
+        Hot during compaction (one call per reclaimed object), so it uses
+        the int-only placement accessors and inlines the outgoing-edge
+        forget walk instead of paying a ``Placement`` allocation and a
+        ``_forget_edge`` call per pointer. The source's own placement is
+        already dropped here, exactly as when ``_forget_edge`` ran after
+        ``placements.pop`` — intra-partition targets were never remembered,
+        so skipping them is observationally identical.
+        """
+        obj = self.objects.pop(oid)
+        placements = self.placements
+        if placements.part_of(oid) != pid:
+            self.objects[oid] = obj
+            raise StoreError(f"object {oid} reclaimed from wrong partition")
+        placements.discard(oid)
+
+        size = obj.size
         if obj.dead:
-            self.dead_bytes[pid] = self.dead_bytes.get(pid, 0) - obj.size
+            self.dead_bytes[pid] = self.dead_bytes.get(pid, 0) - size
         else:
             # The workload never declared this object dead, yet the collector
             # found it unreachable within its partition. Fold it into both
             # totals so ActGarb stays consistent, and count it for tests.
-            self.garbage.total_generated += obj.size
-            self.garbage.undeclared += obj.size
-        self.garbage.total_collected += obj.size
+            self.garbage.total_generated += size
+            self.garbage.undeclared += size
+        self.garbage.total_collected += size
 
         # Sever remembered-set state in both directions.
-        for target in obj.targets():
-            self._forget_edge(oid, target)
+        pointers = obj.pointers
+        if pointers:
+            part_of = placements.part_of
+            partitions = self.partitions
+            remembered = self.remembered
+            for target in pointers.values():
+                if target is None:
+                    continue
+                tgt_pid = part_of(target)
+                if tgt_pid < 0 or tgt_pid == pid:
+                    continue
+                if partitions[tgt_pid].forget(oid, target):
+                    remembered.forget_source(tgt_pid, oid)
         dropped = self.partitions[pid].drop_incoming(oid)
         if dropped:
             self.remembered.forget_sources(pid, dropped)
         self.roots.discard(oid)
         self.unlinked.discard(oid)
         self.remembered.drop_object(pid, oid)
-        return obj.size
+        return size

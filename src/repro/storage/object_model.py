@@ -41,7 +41,7 @@ class ObjectKind(enum.Enum):
         return f"ObjectKind.{self.name}"
 
 
-@dataclass
+@dataclass(slots=True)
 class StoredObject:
     """A single object resident in the database heap.
 

@@ -1,0 +1,247 @@
+"""Flat structure-of-arrays object placement table.
+
+The store's hottest per-event lookups — "which partition holds this oid,
+at what offset, how many bytes" — used to go through a
+``dict[ObjectId, Placement]``: one dict probe plus three attribute loads
+on a heap-allocated dataclass per query, and one dataclass allocation per
+create. :class:`PlacementTable` replaces that with three parallel
+``array('q')`` columns indexed directly by oid:
+
+* ``parts[oid]``  — partition id, or ``-1`` when the oid has no placement;
+* ``offs[oid]``   — byte offset within the partition;
+* ``sizes[oid]``  — object size in bytes.
+
+Object ids from the workload generators are small and dense (allocated
+sequentially from 1), so direct indexing wastes little space; oids that
+are negative or beyond :data:`DENSE_CEILING` fall back to an overflow
+dict so the table accepts any int key a trace can carry. Slots are
+recycled implicitly: reclaiming an oid just writes ``-1`` back into
+``parts``, and a later create of the same oid re-populates the row.
+
+The table keeps the mapping surface the previous dict exposed (``get`` /
+``[]`` / ``pop`` / ``in`` / ``len`` / iteration / ``items`` / ``==``), so
+validation, tests and the transaction manager are unchanged — but
+``__getitem__`` returns a fresh :class:`~repro.storage.partition.
+Placement` *snapshot*, not live shared state. Hot paths (the heap's page
+touch, the batched replay interpreter of :mod:`repro.sim.batch`) bypass
+snapshots entirely and read the raw columns.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, Mapping, Optional
+
+from repro.storage.object_model import ObjectId
+from repro.storage.partition import PartitionId, Placement
+
+#: Dense rows above this oid would cost more memory than a dict entry is
+#: worth; such oids (and negative ones) live in the overflow dict instead.
+DENSE_CEILING = 1 << 22
+
+#: ``parts`` value marking an empty row.
+_ABSENT = -1
+
+#: One int64 ``-1`` in little/big-endian alike (all bits set); used to
+#: bulk-fill freshly grown column extents.
+_FILL_ITEM = b"\xff" * 8
+
+_MISSING = object()
+
+
+class PlacementTable:
+    """Mapping-compatible oid → (partition, offset, size) in parallel arrays."""
+
+    __slots__ = ("parts", "offs", "sizes", "overflow", "_count")
+
+    def __init__(self) -> None:
+        #: Raw columns — exposed for hot loops. Readers must treat a
+        #: ``parts`` value below zero as "no placement"; writers must go
+        #: through :meth:`put` / :meth:`pop` (or replicate their count
+        #: bookkeeping exactly, as the batched interpreter does).
+        self.parts = array("q")
+        self.offs = array("q")
+        self.sizes = array("q")
+        self.overflow: dict[ObjectId, tuple[int, int, int]] = {}
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+
+    @property
+    def dense_limit(self) -> int:
+        """Oids below this index directly into the columns."""
+        return len(self.parts)
+
+    def reserve(self, n: int) -> None:
+        """Grow the dense columns to cover oids ``< n`` (never shrinks).
+
+        Batched replay calls this once with the trace's maximum create oid
+        so the hot loop never pays growth checks; requests beyond
+        :data:`DENSE_CEILING` are clamped (such oids overflow anyway).
+        """
+        n = min(n, DENSE_CEILING)
+        grow = n - len(self.parts)
+        if grow <= 0:
+            return
+        filler = _FILL_ITEM * grow
+        self.parts.frombytes(filler)
+        self.offs.frombytes(filler)
+        self.sizes.frombytes(filler)
+
+    def _grow_for(self, oid: ObjectId) -> None:
+        current = len(self.parts)
+        self.reserve(max(oid + 1, current * 2 if current else 1024))
+
+    # ------------------------------------------------------------------
+    # Primitive accessors (int-only, no Placement allocation)
+    # ------------------------------------------------------------------
+
+    def part_of(self, oid: ObjectId) -> PartitionId:
+        """Partition holding ``oid``, or ``-1`` when it has no placement."""
+        if 0 <= oid < len(self.parts):
+            return self.parts[oid]
+        entry = self.overflow.get(oid)
+        return entry[0] if entry is not None else _ABSENT
+
+    def locate(self, oid: ObjectId) -> Optional[tuple[int, int, int]]:
+        """``(partition, offset, size)`` of ``oid``, or ``None``."""
+        if 0 <= oid < len(self.parts):
+            pid = self.parts[oid]
+            if pid < 0:
+                return None
+            return pid, self.offs[oid], self.sizes[oid]
+        return self.overflow.get(oid)
+
+    def put(self, oid: ObjectId, pid: PartitionId, offset: int, size: int) -> None:
+        """Insert or replace ``oid``'s placement."""
+        if 0 <= oid < DENSE_CEILING:
+            parts = self.parts
+            if oid >= len(parts):
+                self._grow_for(oid)
+                parts = self.parts
+            if parts[oid] < 0:
+                self._count += 1
+            parts[oid] = pid
+            self.offs[oid] = offset
+            self.sizes[oid] = size
+        else:
+            if oid not in self.overflow:
+                self._count += 1
+            self.overflow[oid] = (pid, offset, size)
+
+    def discard(self, oid: ObjectId) -> bool:
+        """Remove ``oid``'s placement if present; returns whether it was."""
+        if 0 <= oid < len(self.parts):
+            if self.parts[oid] < 0:
+                return False
+            self.parts[oid] = _ABSENT
+            self._count -= 1
+            return True
+        if self.overflow.pop(oid, None) is not None:
+            self._count -= 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Mapping surface (snapshot-returning)
+    # ------------------------------------------------------------------
+
+    def get(self, oid: ObjectId, default=None):
+        loc = self.locate(oid)
+        if loc is None:
+            return default
+        return Placement(partition=loc[0], offset=loc[1], size=loc[2])
+
+    def __getitem__(self, oid: ObjectId) -> Placement:
+        loc = self.locate(oid)
+        if loc is None:
+            raise KeyError(oid)
+        return Placement(partition=loc[0], offset=loc[1], size=loc[2])
+
+    def __setitem__(self, oid: ObjectId, placement: Placement) -> None:
+        self.put(oid, placement.partition, placement.offset, placement.size)
+
+    def pop(self, oid: ObjectId, default=_MISSING):
+        loc = self.locate(oid)
+        if loc is None:
+            if default is _MISSING:
+                raise KeyError(oid)
+            return default
+        self.discard(oid)
+        return Placement(partition=loc[0], offset=loc[1], size=loc[2])
+
+    def __delitem__(self, oid: ObjectId) -> None:
+        if not self.discard(oid):
+            raise KeyError(oid)
+
+    def __contains__(self, oid) -> bool:
+        return isinstance(oid, int) and self.locate(oid) is not None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[ObjectId]:
+        parts = self.parts
+        for oid in range(len(parts)):
+            if parts[oid] >= 0:
+                yield oid
+        yield from self.overflow
+
+    def keys(self) -> Iterator[ObjectId]:
+        return iter(self)
+
+    def items(self) -> Iterator[tuple[ObjectId, Placement]]:
+        parts = self.parts
+        offs = self.offs
+        sizes = self.sizes
+        for oid in range(len(parts)):
+            pid = parts[oid]
+            if pid >= 0:
+                yield oid, Placement(partition=pid, offset=offs[oid], size=sizes[oid])
+        for oid, entry in self.overflow.items():
+            yield oid, Placement(partition=entry[0], offset=entry[1], size=entry[2])
+
+    def values(self) -> Iterator[Placement]:
+        for _oid, placement in self.items():
+            yield placement
+
+    # ------------------------------------------------------------------
+    # Equality (tests compare whole tables, and tables against dicts)
+    # ------------------------------------------------------------------
+
+    def _as_tuples(self) -> dict[ObjectId, tuple[int, int, int]]:
+        out: dict[ObjectId, tuple[int, int, int]] = {}
+        parts = self.parts
+        offs = self.offs
+        sizes = self.sizes
+        for oid in range(len(parts)):
+            pid = parts[oid]
+            if pid >= 0:
+                out[oid] = (pid, offs[oid], sizes[oid])
+        out.update(self.overflow)
+        return out
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PlacementTable):
+            return self._as_tuples() == other._as_tuples()
+        if isinstance(other, Mapping):
+            if len(other) != self._count:
+                return False
+            for oid, placement in other.items():
+                loc = self.locate(oid)
+                if loc is None or loc != (
+                    placement.partition, placement.offset, placement.size
+                ):
+                    return False
+            return True
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlacementTable(count={self._count}, dense={len(self.parts)}, "
+            f"overflow={len(self.overflow)})"
+        )

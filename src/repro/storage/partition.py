@@ -43,7 +43,7 @@ class Placement:
         return range(first, last + 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Partition:
     """A fixed-capacity region of the database holding objects.
 
@@ -91,6 +91,19 @@ class Partition:
         """Whether a ``size``-byte object can be bump-allocated here."""
         return size <= self.free_bytes
 
+    def bump(self, oid: ObjectId, size: int) -> int:
+        """Unchecked bump allocation; returns the placement offset.
+
+        The store's first-fit scan (and the batched replay interpreter) has
+        already proven the object fits, so this skips the ``fits`` check and
+        the :class:`Placement` construction — the flat placement table stores
+        the three ints directly.
+        """
+        offset = self.fill
+        self.fill = offset + size
+        self.residents.add(oid)
+        return offset
+
     def allocate(self, oid: ObjectId, size: int) -> Placement:
         """Place ``oid`` at the current fill offset.
 
@@ -102,10 +115,7 @@ class Partition:
                 f"partition {self.pid}: cannot allocate {size} bytes "
                 f"({self.free_bytes} free of {self.capacity})"
             )
-        placement = Placement(partition=self.pid, offset=self.fill, size=size)
-        self.fill += size
-        self.residents.add(oid)
-        return placement
+        return Placement(partition=self.pid, offset=self.bump(oid, size), size=size)
 
     def reset_for_compaction(self) -> None:
         """Empty the partition prior to re-placing its survivors.

@@ -102,7 +102,7 @@ class CompiledTrace:
         "ops", "arg0", "arg1", "strings",
         "create_kind", "create_ptr_start", "ptr_slots", "ptr_targets",
         "write_slot", "write_dies_start", "dies",
-        "_materialized",
+        "_materialized", "_batch_cache",
     )
 
     def __init__(
@@ -131,6 +131,9 @@ class CompiledTrace:
         self.write_dies_start = write_dies_start
         self.dies = dies
         self._materialized: Optional[tuple[TraceEvent, ...]] = None
+        # Memoised column views + run index for the batched interpreter
+        # (repro.sim.batch); built on first batched replay of this trace.
+        self._batch_cache = None
 
     # ------------------------------------------------------------------
     # Replay

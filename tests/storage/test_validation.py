@@ -50,7 +50,9 @@ def test_validation_after_collections():
 def test_detects_placement_overlap(store):
     # Corrupt: force two objects onto the same offset.
     oids = sorted(store.partitions[0].residents)
-    store.placements[oids[1]].offset = store.placements[oids[0]].offset
+    clobbered = store.placements[oids[1]]
+    clobbered.offset = store.placements[oids[0]].offset
+    store.placements[oids[1]] = clobbered
     report = StoreValidator().validate(store)
     assert any("placements" in v for v in report.violations)
 
