@@ -73,6 +73,7 @@ GATED_METRICS = (
     "batch_replay.batched.events_per_s",
     "collection_throughput.remembered.collections_per_s",
     "multi_tenant_replay.events_per_s",
+    "learned_estimator.learned.events_per_s",
 )
 
 
@@ -501,6 +502,103 @@ def bench_multi_tenant_replay(quick: bool, repeats: int, telemetry=None) -> dict
     }
 
 
+def bench_learned_estimator(quick: bool, repeats: int, telemetry=None) -> dict:
+    """Learned-estimator serving overhead vs the hand-designed FGS/HB.
+
+    Replays one interleaved tenant-mix trace under SAGA twice — once per
+    estimator — timing the whole replay: the estimator's per-collection
+    ``observe``/``estimate`` cost is the only difference between the legs.
+    The model is fitted in-bench from an untimed, telemetered oracle
+    teacher run (the full train pipeline), so the bench also tracks
+    training wall time, reported untimed-and-ungated alongside.
+    """
+    from repro.fleet import _default_sim_config
+    from repro.gc.learned import train_model
+    from repro.obs.features import load_training_rows
+    from repro.obs.telemetry import RunTelemetry
+    from repro.sim.simulator import Simulation
+    from repro.sim.spec import PolicySpec, build_policy
+    from repro.workload.tenants import TenantMix, tenant_mix
+
+    scenario = tenant_mix(
+        ["oltp-churn", "read-browse"], scale=1.0 if quick else 3.0
+    )
+    events = list(TenantMix(scenario, seed=0).events())
+    sim_config = _default_sim_config()
+
+    def saga_policy(estimator: str) -> PolicySpec:
+        return PolicySpec(
+            "saga", {"garbage_fraction": 0.15, "estimator": estimator}
+        )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Untimed teacher run + training: oracle-labelled telemetry in,
+        # content-hashed model artifact out.
+        teacher_path = Path(tmp) / "teacher.jsonl"
+        tel = RunTelemetry(teacher_path, kind="bench", label="teacher", seed=0)
+        Simulation(
+            policy=build_policy(saga_policy("oracle"), 0),
+            config=sim_config,
+            obs=tel,
+        ).run(events)
+        tel.close()
+        train_started = time.perf_counter()
+        matrix = load_training_rows([teacher_path])
+        model, _report = train_model(matrix.rows, files=len(matrix.files))
+        train_s = time.perf_counter() - train_started
+        model_path = Path(tmp) / "model.json"
+        model.save(model_path)
+        learned_spec = f"learned:{model_path}@{model.sha256[:12]}"
+
+        def replay(estimator: str):
+            sim = Simulation(
+                policy=build_policy(saga_policy(estimator), 0),
+                config=sim_config,
+            )
+            return sim.run(events).summary.collections
+
+        fgs_wall, fgs_collections = _best_of(
+            repeats, lambda: replay("fgs-hb")
+        )
+        learned_wall, learned_collections = _best_of(
+            repeats, lambda: replay(learned_spec)
+        )
+        if telemetry is not None:
+            tel = RunTelemetry(
+                Path(telemetry) / "bench_learned_estimator.jsonl",
+                kind="bench",
+                label="learned_estimator",
+                seed=0,
+            )
+            sim = Simulation(
+                policy=build_policy(saga_policy(learned_spec), 0),
+                config=sim_config,
+                obs=tel,
+            )
+            with tel.span("replay", events=len(events)):
+                sim.run(events)
+            tel.close()
+
+    return {
+        "events": len(events),
+        "train_rows": model.trained_rows,
+        "train_s": round(train_s, 4),
+        "fgs_hb": {
+            "wall_s": round(fgs_wall, 4),
+            "collections": fgs_collections,
+            "events_per_s": round(len(events) / fgs_wall, 1),
+        },
+        "learned": {
+            "wall_s": round(learned_wall, 4),
+            "collections": learned_collections,
+            "events_per_s": round(len(events) / learned_wall, 1),
+        },
+        "overhead_vs_fgs_hb": round(learned_wall / fgs_wall, 3)
+        if fgs_wall > 0
+        else float("inf"),
+    }
+
+
 #: The standard suite, in execution order.
 SUITE = (
     ("figure1_cell", bench_figure1_cell),
@@ -510,6 +608,7 @@ SUITE = (
     ("trace_compile_load", bench_trace_compile_load),
     ("sweep_trace_cache", bench_sweep_trace_cache),
     ("multi_tenant_replay", bench_multi_tenant_replay),
+    ("learned_estimator", bench_learned_estimator),
 )
 
 
@@ -648,6 +747,14 @@ def _format_report(doc: dict) -> str:
         f"  multi_tenant_replay: {mtr['wall_s']:.3f}s "
         f"({mtr['events_per_s']:,.0f} events/s, {mtr['tenants']} tenants, "
         f"{mtr['collections']} collections)"
+    )
+    le = r["learned_estimator"]
+    lines.append(
+        f"  learned_estimator:  learned "
+        f"{le['learned']['events_per_s']:,.0f} events/s vs fgs-hb "
+        f"{le['fgs_hb']['events_per_s']:,.0f} events/s "
+        f"({le['overhead_vs_fgs_hb']:g}x wall; trained on "
+        f"{le['train_rows']} rows in {le['train_s']:.3f}s)"
     )
     return "\n".join(lines)
 

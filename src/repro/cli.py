@@ -46,6 +46,12 @@ truncation, backpressure under a heap bound, graceful SIGTERM drain — and
 ``serve --soak`` runs crash-soak drills against it (see
 :mod:`repro.service.cli`).
 
+``python -m repro train`` fits the learned garbage estimator
+(:mod:`repro.gc.learned`) from recorded telemetry GC timelines, and
+``python -m repro tournament`` ranks fixed/SAIO/SAGA/learned policies
+across a scenario grid, reporting per-estimator error alongside
+end-to-end I/O (see :mod:`repro.experiments.tournament`).
+
 Observability: ``--telemetry DIR`` writes one JSON-lines telemetry file
 per simulated run (per-collection GC timeline, metrics snapshot, phase
 spans) plus one engine-level file per batch; ``python -m repro metrics
@@ -337,6 +343,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.service.cli import main as serve_main
 
         return serve_main(raw[1:])
+    if raw and raw[0] == "train":
+        from repro.train import main as train_main
+
+        return train_main(raw[1:])
+    if raw and raw[0] == "tournament":
+        from repro.experiments.tournament import main as tournament_main
+
+        return tournament_main(raw[1:])
 
     args = _build_parser().parse_args(raw)
 

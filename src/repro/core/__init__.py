@@ -9,7 +9,9 @@ from repro.core.estimators import (
     FgsHbEstimator,
     GarbageEstimator,
     OracleEstimator,
+    estimator_names,
     make_estimator,
+    register_estimator,
 )
 from repro.core.extensions import CoupledSaioSagaPolicy, OpportunisticPolicy
 from repro.core.fixed import (
@@ -44,5 +46,7 @@ __all__ = [
     "Trigger",
     "UNLIMITED_HISTORY",
     "clamp",
+    "estimator_names",
     "make_estimator",
+    "register_estimator",
 ]

@@ -20,10 +20,16 @@ to shorten simulation preambles (§3.2).
 from __future__ import annotations
 
 import abc
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.control import ExponentialMean
-from repro.gc.collector import CollectionResult
-from repro.storage.heap import ObjectStore
+
+if TYPE_CHECKING:  # pragma: no cover - annotations only; avoids a cycle
+    # repro.gc re-exports the learned estimator, which subclasses
+    # GarbageEstimator — a runtime import of repro.gc here would be
+    # circular whenever repro.core loads first.
+    from repro.gc.collector import CollectionResult
+    from repro.storage.heap import ObjectStore
 
 
 class GarbageEstimator(abc.ABC):
@@ -200,22 +206,63 @@ class DecayingOracleBlend(GarbageEstimator):
         return f"{self.inner.describe()}+oracle-blend({self.decay})"
 
 
+# ----------------------------------------------------------------------
+# Estimator registry
+# ----------------------------------------------------------------------
+
+#: A factory receives the ``history`` smoothing factor (HB variants use it,
+#: the rest ignore it) and returns a fresh estimator.
+EstimatorFactory = Callable[[float], GarbageEstimator]
+
+_ESTIMATOR_REGISTRY: dict[str, EstimatorFactory] = {}
+
+
+def register_estimator(name: str, factory: EstimatorFactory) -> None:
+    """Register (or replace) ``factory(history)`` under an estimator name.
+
+    Registered names resolve through :func:`make_estimator`, which the
+    SAGA policy builder (:mod:`repro.sim.spec`) and the fleet/tournament
+    CLIs call — downstream estimators plug into every driver at once.
+    """
+    _ESTIMATOR_REGISTRY[name] = factory
+
+
+def estimator_names() -> list[str]:
+    """The registered estimator names, sorted."""
+    return sorted(_ESTIMATOR_REGISTRY)
+
+
+register_estimator(OracleEstimator.name, lambda history: OracleEstimator())
+register_estimator(CgsCbEstimator.name, lambda history: CgsCbEstimator())
+register_estimator(
+    CgsHbEstimator.name, lambda history: CgsHbEstimator(history=history)
+)
+register_estimator(
+    FgsHbEstimator.name, lambda history: FgsHbEstimator(history=history)
+)
+register_estimator(FgsCbEstimator.name, lambda history: FgsCbEstimator())
+
+
 def make_estimator(name: str, history: float = 0.8) -> GarbageEstimator:
     """Factory used by the CLI and experiment drivers.
 
     ``history`` applies to the HB variants and is ignored otherwise.
+    Beyond the registered names, the spec form ``learned:<model.json>``
+    (optionally content-pinned as ``learned:<model.json>@<hash-prefix>``)
+    loads a trained :class:`~repro.gc.learned.LearnedModel` artifact and
+    returns a :class:`~repro.gc.learned.LearnedEstimator` over it.
     """
-    if name == OracleEstimator.name:
-        return OracleEstimator()
-    if name == CgsCbEstimator.name:
-        return CgsCbEstimator()
-    if name == CgsHbEstimator.name:
-        return CgsHbEstimator(history=history)
-    if name == FgsHbEstimator.name:
-        return FgsHbEstimator(history=history)
-    if name == FgsCbEstimator.name:
-        return FgsCbEstimator()
-    raise ValueError(
-        f"unknown estimator {name!r}; choose from "
-        "['oracle', 'cgs-cb', 'cgs-hb', 'fgs-hb', 'fgs-cb']"
-    )
+    if name.startswith("learned:"):
+        # Imported lazily: repro.gc.learned subclasses GarbageEstimator,
+        # so a module-level import would be circular.
+        from repro.gc.learned import estimator_from_spec
+
+        return estimator_from_spec(name)
+    try:
+        factory = _ESTIMATOR_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown estimator {name!r}; choose from {estimator_names()} "
+            "or 'learned:<model.json>'"
+        ) from None
+    return factory(history)

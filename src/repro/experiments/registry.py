@@ -291,6 +291,24 @@ def _fleet_demo(seeds, options: RunOptions) -> str:
     return run_demo(seeds, options.engine_kwargs())
 
 
+@experiment(
+    "figure9",
+    "policy tournament: fixed/SAIO/SAGA/learned + estimator error ranking",
+)
+def _figure9(seeds, options: RunOptions) -> str:
+    import os
+
+    from repro.experiments.tournament import format_tournament, run_tournament
+
+    return format_tournament(
+        run_tournament(
+            seeds=seeds,
+            model_path=os.environ.get("REPRO_LEARNED_MODEL"),
+            **options.engine_kwargs(),
+        )
+    )
+
+
 @experiment("ablation-weight", "§2.3 SAGA slope Weight")
 def _ablation_weight(seeds, options: RunOptions) -> str:
     from repro.experiments.ablations import (

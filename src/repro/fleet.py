@@ -39,6 +39,7 @@ import time
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.gc.learned import ModelError, model_spec, parse_model_spec
 from repro.sim.engine import run_experiment_batch
 from repro.sim.report import format_percent, format_table
 from repro.sim.runner import AggregateResult
@@ -71,7 +72,9 @@ def parse_policy(text: str) -> PolicySpec:
     """Parse a compact ``kind:value`` policy string into a :class:`PolicySpec`.
 
     Forms: ``fixed:60``, ``allocation:24576``, ``saio:0.1``,
-    ``saga:0.25`` / ``saga:0.25:cgs-hb``.
+    ``saga:0.25`` / ``saga:0.25:cgs-hb``. The saga estimator accepts any
+    registered estimator name or ``learned:<model.json>`` (only the first
+    colon splits, so model paths pass through intact).
 
     Raises:
         ValueError: on an unknown kind or malformed value, listing the
@@ -97,6 +100,35 @@ def parse_policy(text: str) -> PolicySpec:
         f"cannot parse policy {text!r}; accepted forms: "
         + ", ".join(_POLICY_FORMS)
     )
+
+
+def resolve_estimators(
+    policies: Sequence[PolicySpec], default: Optional[str] = None
+) -> list[PolicySpec]:
+    """Fill in the ``--estimator`` default and content-pin learned models.
+
+    A saga cell naming ``learned:<path>`` without a hash pin is expanded
+    to ``learned:<path>@<hash12>`` by reading the artifact — the result
+    cache then fingerprints the model's *content*, so retraining at the
+    same path can never be answered by stale cached results.
+
+    Raises:
+        ModelError: when a named model artifact is missing or corrupt.
+    """
+    resolved = []
+    for policy in policies:
+        if policy.kind == "saga":
+            kwargs = dict(policy.kwargs)
+            estimator = kwargs.get("estimator", default)
+            if isinstance(estimator, str):
+                if estimator.startswith("learned:"):
+                    path, digest = parse_model_spec(estimator)
+                    if digest is None:
+                        estimator = model_spec(path)
+                kwargs["estimator"] = estimator
+            policy = PolicySpec("saga", kwargs)
+        resolved.append(policy)
+    return resolved
 
 
 def load_scenario(path: Path) -> "WorkloadConfig | TenantMixConfig":
@@ -274,6 +306,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--estimator",
+        default=None,
+        metavar="NAME",
+        help=(
+            "default garbage estimator for saga policies that don't name "
+            "one: a registered name (oracle, cgs-cb, cgs-hb, fgs-cb, "
+            "fgs-hb) or learned:<model.json>; learned model paths are "
+            "content-pinned into result-cache fingerprints automatically"
+        ),
+    )
+    parser.add_argument(
         "--seeds",
         type=int,
         nargs="+",
@@ -363,14 +406,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         scenario = _resolve_scenario(args)
-        policies = [parse_policy(text) for text in args.policies]
+        policies = resolve_estimators(
+            [parse_policy(text) for text in args.policies],
+            default=args.estimator,
+        )
         specs = build_grid(
             scenario,
             policies,
             shard=args.shard,
             sim=_default_sim_config(preamble=args.preamble, replay=args.replay),
         )
-    except (GrammarError, ValueError, OSError) as exc:
+    except (GrammarError, ModelError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -451,6 +497,7 @@ __all__ = [
     "load_scenario",
     "main",
     "parse_policy",
+    "resolve_estimators",
     "run_demo",
 ]
 

@@ -1,6 +1,14 @@
 """Partitioned copying garbage collector and partition-selection policies."""
 
 from repro.gc.collector import CollectionResult, CopyingCollector
+from repro.gc.learned import (
+    FeatureTracker,
+    LearnedEstimator,
+    LearnedModel,
+    estimator_from_spec,
+    model_spec,
+    train_model,
+)
 from repro.gc.selection import (
     MostGarbageOracleSelection,
     PartitionSelectionPolicy,
@@ -13,10 +21,16 @@ from repro.gc.selection import (
 __all__ = [
     "CollectionResult",
     "CopyingCollector",
+    "FeatureTracker",
+    "LearnedEstimator",
+    "LearnedModel",
     "MostGarbageOracleSelection",
     "PartitionSelectionPolicy",
     "RandomSelection",
     "RoundRobinSelection",
     "UpdatedPointerSelection",
+    "estimator_from_spec",
     "make_selection_policy",
+    "model_spec",
+    "train_model",
 ]

@@ -15,6 +15,7 @@ Telemetry never changes simulation results — see the determinism contract
 in :mod:`repro.obs.telemetry`.
 """
 
+from repro.obs.features import FeatureMatrix, collection_rows, load_training_rows
 from repro.obs.registry import (
     NULL_METRICS,
     Counter,
@@ -36,6 +37,7 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "Counter",
+    "FeatureMatrix",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -48,8 +50,10 @@ __all__ = [
     "TELEMETRY_FORMAT",
     "TelemetryError",
     "Tracer",
+    "collection_rows",
     "iter_telemetry_files",
     "load_telemetry",
+    "load_training_rows",
     "metrics_or_null",
     "run_telemetry_path",
 ]

@@ -1,0 +1,136 @@
+"""Telemetry → feature-matrix reader for the learned garbage estimator.
+
+The GC timeline that :class:`~repro.obs.telemetry.RunTelemetry` records is
+oracle-labelled training data: every ``collection`` line carries the
+observables the live estimator sees (overwrite clock, bytes reclaimed,
+survivor bytes, database size) *and* the oracle's
+``actual_garbage_fraction``. This module replays those lines through the
+same :class:`~repro.gc.learned.FeatureTracker` the deployed estimator
+uses, producing :class:`~repro.gc.learned.TrainingRow` examples with zero
+train/serve skew — property-tested in ``tests/obs/test_features.py``.
+
+Wall-clock fields (``wall_s``, span records) are never read: the feature
+matrix is a pure function of the deterministic simulation outputs, so the
+trained model is byte-reproducible even across regenerated telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Union
+
+from repro.gc.learned import DEFAULT_FEATURE_HISTORY, FeatureTracker, TrainingRow
+from repro.obs.telemetry import TelemetryError, iter_telemetry_files, load_telemetry
+
+
+@dataclass(frozen=True)
+class FeatureMatrix:
+    """Training rows plus the provenance of the files they came from."""
+
+    rows: tuple[TrainingRow, ...]
+    #: Files that contributed at least one collection record.
+    files: tuple[str, ...]
+    #: Parsed telemetry files with no GC timeline (engine/bench/event-only
+    #: files) — valid inputs, just not training data.
+    skipped: tuple[str, ...]
+
+
+def _number(
+    record: Mapping[str, object], key: str, default: Optional[float] = None
+) -> float:
+    """A collection record's numeric field, or a loud TelemetryError.
+
+    ``default`` covers fields added to the telemetry schema after format
+    1 shipped (pending overwrites, partition count): absent in older
+    files, required in new ones.
+    """
+    value = record.get(key)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    if value is None and default is not None:
+        return default
+    raise TelemetryError(f"collection record field {key!r} is not numeric: {value!r}")
+
+
+def collection_rows(
+    records: Sequence[Mapping[str, object]],
+    source: str = "",
+    history: float = DEFAULT_FEATURE_HISTORY,
+) -> list[TrainingRow]:
+    """Derive training rows from one telemetry file's records.
+
+    Each file gets a fresh :class:`FeatureTracker`: the smoothed features
+    are per-run state and must not leak across run boundaries. Collection
+    records without an oracle label are skipped.
+    """
+    tracker = FeatureTracker(history=history)
+    rows: list[TrainingRow] = []
+    for record in records:
+        if record.get("type") != "collection":
+            continue
+        if record.get("actual_garbage_fraction") is None:
+            continue
+        features = tracker.observe(
+            overwrite_clock=_number(record, "overwrite_clock"),
+            reclaimed_bytes=_number(record, "reclaimed_bytes"),
+            live_bytes=_number(record, "live_bytes"),
+            db_size=_number(record, "db_size"),
+            pending_overwrites=_number(record, "pending_overwrites", 0.0),
+            partition_count=_number(record, "partition_count", 0.0),
+        )
+        number = record.get("number")
+        rows.append(
+            TrainingRow(
+                features=tuple(features),
+                target=_number(record, "actual_garbage_fraction"),
+                source=source,
+                collection=number if isinstance(number, int) else len(rows) + 1,
+            )
+        )
+    return rows
+
+
+def load_training_rows(
+    paths: Sequence[Union[str, Path]],
+    history: float = DEFAULT_FEATURE_HISTORY,
+) -> FeatureMatrix:
+    """Build the feature matrix from telemetry files and/or directories.
+
+    Directories expand to their sorted ``*.jsonl`` contents
+    (:func:`~repro.obs.telemetry.iter_telemetry_files`), duplicates are
+    dropped, and the resulting file order is deterministic — the training
+    gate relies on repeat invocations seeing identical row sequences.
+
+    Raises:
+        TelemetryError: when a file is present but malformed — bad
+            training inputs should fail loudly, not shrink the dataset.
+    """
+    ordered: list[Path] = []
+    seen: set[str] = set()
+    for path in paths:
+        for candidate in iter_telemetry_files(path):
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                ordered.append(candidate)
+
+    rows: list[TrainingRow] = []
+    used: list[str] = []
+    skipped: list[str] = []
+    for candidate in ordered:
+        records = load_telemetry(candidate)
+        file_rows = collection_rows(records, source=candidate.name, history=history)
+        if not file_rows:
+            skipped.append(str(candidate))
+            continue
+        used.append(str(candidate))
+        rows.extend(file_rows)
+    return FeatureMatrix(rows=tuple(rows), files=tuple(used), skipped=tuple(skipped))
+
+
+__all__ = [
+    "FeatureMatrix",
+    "collection_rows",
+    "load_training_rows",
+]

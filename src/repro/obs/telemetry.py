@@ -156,6 +156,8 @@ class RunTelemetry:
                 "target_garbage_fraction": record.target_garbage_fraction,
                 "estimator_error": error,
                 "db_size": record.db_size,
+                "pending_overwrites": record.pending_overwrites,
+                "partition_count": record.partition_count,
                 "wall_s": round(wall_s, 6),
             }
         )

@@ -42,6 +42,12 @@ class CollectionRecord:
     estimated_garbage_fraction: Optional[float]
     target_garbage_fraction: Optional[float]
     db_size: int
+    #: FGS state at the recording moment: pointer overwrites still pending
+    #: across all partitions (the victim's were just reset) and the
+    #: partition count. Defaulted so records cached before these fields
+    #: existed still rehydrate. The learned estimator trains on them.
+    pending_overwrites: int = 0
+    partition_count: int = 0
 
     @property
     def yield_bytes(self) -> int:
@@ -237,6 +243,10 @@ class Sampler:
                 estimated_garbage_fraction=estimated_fraction,
                 target_garbage_fraction=target_garbage_fraction,
                 db_size=db_size,
+                pending_overwrites=sum(
+                    p.pointer_overwrites for p in store.partitions
+                ),
+                partition_count=store.partition_count,
             )
         )
 

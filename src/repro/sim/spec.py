@@ -55,7 +55,12 @@ class PolicySpec:
 
     Built-in kinds: ``fixed``, ``allocation``, ``partition-heuristic``,
     ``saio``, ``saga`` (whose ``estimator`` kwarg is itself a registry key
-    resolved through :func:`repro.core.estimators.make_estimator`).
+    resolved through :func:`repro.core.estimators.make_estimator`). Besides
+    plain names (``fgs-hb``, ``cgs-cb``, ``oracle``…) the estimator kwarg
+    accepts trained-model specs, ``learned:<path>[@<hash-prefix>]``: the
+    spec string participates in :func:`canonical_material` like any other
+    kwarg, so a content-pinned spec (``python -m repro train`` prints one)
+    makes the experiment fingerprint track the model artifact's content.
     """
 
     kind: str
@@ -206,6 +211,9 @@ def _build_saga(
     history: float = 0.8,
     **kwargs,
 ) -> RatePolicy:
+    # ``estimator`` may be a registry name or a ``learned:`` model spec;
+    # make_estimator loads (and hash-verifies) the artifact in the worker
+    # process, so learned policies parallelise like any other.
     return SagaPolicy(
         garbage_fraction=garbage_fraction,
         estimator=make_estimator(estimator, history=history),

@@ -28,6 +28,7 @@ def test_experiment_registry_is_complete():
         "figure6",
         "figure7",
         "figure8",
+        "figure9",
         "describe",
         "drill",
         "ablation-clock",

@@ -1,0 +1,84 @@
+"""End-to-end tests for ``python -m repro train``."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.gc.learned import LearnedModel
+from repro.train import main as train_main
+
+
+@pytest.fixture(scope="module")
+def telemetry_dir(tmp_path_factory):
+    """A small live run's telemetry (cache off — hits emit no timelines)."""
+    tel = tmp_path_factory.mktemp("train-tel")
+    assert (
+        cli_main(
+            [
+                "figure1",
+                "--seeds",
+                "0",
+                "--no-cache",
+                "--jobs",
+                "1",
+                "--telemetry",
+                str(tel),
+            ]
+        )
+        == 0
+    )
+    return tel
+
+
+def test_train_end_to_end_json_summary(telemetry_dir, tmp_path, capsys):
+    out = tmp_path / "model.json"
+    assert train_main([str(telemetry_dir), "--out", str(out), "--json"]) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["rows"] > 0
+    assert summary["files"] > 0
+    assert summary["spec"] == f"learned:{out}@{summary['sha256'][:12]}"
+    model = LearnedModel.load(out)
+    assert model.sha256 == summary["sha256"]
+    assert model.trained_rows == summary["rows"]
+
+
+def test_repeat_training_is_bit_identical(telemetry_dir, tmp_path, capsys):
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    assert train_main([str(telemetry_dir), "--out", str(out_a)]) == 0
+    assert train_main([str(telemetry_dir), "--out", str(out_b)]) == 0
+    assert out_a.read_bytes() == out_b.read_bytes()
+    text = capsys.readouterr().out
+    assert "model sha256" in text
+    assert "spec learned:" in text
+
+
+def test_hyperparameters_change_the_artifact(telemetry_dir, tmp_path, capsys):
+    out_a = tmp_path / "a.json"
+    out_b = tmp_path / "b.json"
+    assert train_main([str(telemetry_dir), "--out", str(out_a)]) == 0
+    assert (
+        train_main([str(telemetry_dir), "--out", str(out_b), "--seed", "7"]) == 0
+    )
+    assert out_a.read_bytes() != out_b.read_bytes()
+
+
+def test_train_dispatches_through_repro_cli(telemetry_dir, tmp_path, capsys):
+    out = tmp_path / "model.json"
+    assert cli_main(["train", str(telemetry_dir), "--out", str(out)]) == 0
+    assert out.exists()
+
+
+def test_empty_directory_exits_2(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert train_main([str(empty)]) == 2
+    assert "no labelled collection" in capsys.readouterr().err
+
+
+def test_malformed_telemetry_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{not json\n")
+    assert train_main([str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err

@@ -1,0 +1,155 @@
+"""Telemetry → feature-matrix reader, and the train/serve skew contract."""
+
+import json
+
+import pytest
+
+from repro.core.saga import SagaPolicy
+from repro.gc.learned import (
+    FEATURE_NAMES,
+    FeatureTracker,
+    LearnedEstimator,
+    LearnedModel,
+)
+from repro.obs.features import collection_rows, load_training_rows
+from repro.obs.telemetry import TelemetryError
+from repro.oo7.config import TINY
+from repro.sim.engine import run_experiment_batch
+from repro.sim.simulator import Simulation, SimulationConfig
+from repro.storage.heap import StoreConfig
+from repro.workload.application import Oo7Application
+
+from obs_helpers import make_tiny_spec
+
+
+def _record(number=1, **overrides):
+    base = {
+        "type": "collection",
+        "number": number,
+        "overwrite_clock": 100.0 * number,
+        "reclaimed_bytes": 500,
+        "live_bytes": 1500,
+        "db_size": 10000,
+        "pending_overwrites": 40,
+        "partition_count": 8,
+        "actual_garbage_fraction": 0.25,
+    }
+    base.update(overrides)
+    return base
+
+
+def test_collection_rows_skips_non_collection_and_unlabelled():
+    records = [
+        {"type": "meta", "format": 1},
+        _record(1),
+        _record(2, actual_garbage_fraction=None),
+        {"type": "metrics"},
+        _record(3),
+    ]
+    rows = collection_rows(records, source="t.jsonl")
+    assert [row.collection for row in rows] == [1, 3]
+    assert all(row.source == "t.jsonl" for row in rows)
+    assert all(len(row.features) == len(FEATURE_NAMES) for row in rows)
+    assert all(row.target == 0.25 for row in rows)
+
+
+def test_collection_rows_matches_a_directly_driven_tracker():
+    records = [_record(i, reclaimed_bytes=120 * i) for i in range(1, 6)]
+    rows = collection_rows(records)
+    tracker = FeatureTracker()
+    for record, row in zip(records, rows):
+        expected = tracker.observe(
+            overwrite_clock=float(record["overwrite_clock"]),
+            reclaimed_bytes=float(record["reclaimed_bytes"]),
+            live_bytes=float(record["live_bytes"]),
+            db_size=float(record["db_size"]),
+            pending_overwrites=float(record["pending_overwrites"]),
+            partition_count=float(record["partition_count"]),
+        )
+        assert list(row.features) == expected
+
+
+def test_pre_format_records_default_new_fields_to_zero():
+    record = _record(1)
+    del record["pending_overwrites"]
+    del record["partition_count"]
+    (row,) = collection_rows([record])
+    assert len(row.features) == len(FEATURE_NAMES)
+
+
+def test_non_numeric_field_raises():
+    with pytest.raises(TelemetryError, match="db_size"):
+        collection_rows([_record(1, db_size="big")])
+
+
+def test_live_features_match_telemetry_replay():
+    """The skew contract: the deployed estimator's per-collection feature
+    vectors are bitwise equal to what the telemetry reader reconstructs
+    from that run's collection records (via a JSON round-trip, as the
+    training pipeline would see them)."""
+    # A constant bias weight makes the deployed model predict a steady 30%
+    # garbage fraction, so SAGA keeps scheduling collections to observe.
+    model = LearnedModel(
+        weights=tuple([0.3] + [0.0] * (len(FEATURE_NAMES) - 1))
+    )
+    estimator = LearnedEstimator(model, keep_trace=True)
+    policy = SagaPolicy(
+        garbage_fraction=0.15, estimator=estimator, initial_interval=20
+    )
+    store = StoreConfig(page_size=2048, partition_pages=4, buffer_pages=4)
+    sim = Simulation(
+        policy=policy,
+        config=SimulationConfig(store=store, preamble_collections=0),
+    )
+    result = sim.run(Oo7Application(TINY, seed=0).events())
+    records = result.collections
+    assert len(records) >= 3
+
+    telemetry_style = [
+        json.loads(
+            json.dumps(
+                {
+                    "type": "collection",
+                    "number": r.number,
+                    "overwrite_clock": r.overwrite_clock,
+                    "reclaimed_bytes": r.reclaimed_bytes,
+                    "live_bytes": r.live_bytes,
+                    "db_size": r.db_size,
+                    "pending_overwrites": r.pending_overwrites,
+                    "partition_count": r.partition_count,
+                    "actual_garbage_fraction": r.actual_garbage_fraction,
+                }
+            )
+        )
+        for r in records
+    ]
+    rows = collection_rows(telemetry_style)
+    assert len(rows) == len(estimator.feature_trace)
+    for row, live in zip(rows, estimator.feature_trace):
+        assert list(row.features) == live
+
+
+def test_load_training_rows_from_engine_telemetry(tmp_path):
+    """End to end: engine telemetry → deterministic feature matrix."""
+    tel = tmp_path / "tel"
+    run_experiment_batch(
+        [make_tiny_spec(label="features-e2e")],
+        seeds=[0],
+        jobs=1,
+        cache=None,
+        telemetry=tel,
+    )
+    matrix = load_training_rows([tel])
+    assert matrix.rows
+    assert matrix.files  # the run_*.jsonl file contributed
+    assert matrix.skipped  # the engine_*.jsonl file has no GC timeline
+    again = load_training_rows([tel, tel])  # duplicates are dropped
+    assert again.rows == matrix.rows
+    assert again.files == matrix.files
+
+
+def test_load_training_rows_raises_on_malformed_file(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("{not json\n")
+    with pytest.raises(TelemetryError):
+        load_training_rows([bad])
