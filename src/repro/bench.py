@@ -72,6 +72,7 @@ GATED_METRICS = (
     "traverse_replay.events_per_s",
     "batch_replay.batched.events_per_s",
     "collection_throughput.remembered.collections_per_s",
+    "parallel_collection.parallel.collections_per_s",
     "multi_tenant_replay.events_per_s",
     "learned_estimator.learned.events_per_s",
 )
@@ -599,12 +600,127 @@ def bench_learned_estimator(quick: bool, repeats: int, telemetry=None) -> dict:
     }
 
 
+def bench_parallel_collection(quick: bool, repeats: int, telemetry=None) -> dict:
+    """Collection pause under the parallel scheduler vs the serial collector.
+
+    Replays one access-heavy, garbage-sparse synthetic cell — large live
+    partitions (the survivor trace and relocation dominate each pause) with
+    a short overwrite interval (little garbage accumulates per collection)
+    — once per collection mode, timing only the stop-the-world window:
+    ``collector.collect`` for serial, ``scheduler.collect`` for parallel.
+    Everything the parallel scheduler hoists into the margin window
+    (frontier snapshot, Cheney trace, compaction layout planning) leaves
+    the pause; reclamation bookkeeping stays, by design. Asserts the two
+    modes' summaries are pickle-equal, so the speedup is never bought with
+    a behaviour change.
+    """
+    import pickle
+
+    from repro.core.fixed import FixedRatePolicy
+    from repro.gc.selection import RoundRobinSelection
+    from repro.sim.simulator import Simulation, SimulationConfig
+    from repro.storage.heap import StoreConfig
+    from repro.workload.synthetic import SyntheticPhase, SyntheticWorkload
+
+    workers = 4
+    store = StoreConfig(page_size=2048, partition_pages=64, buffer_pages=8)
+    phases = [
+        SyntheticPhase(
+            name="hot-read",
+            operations=12_000 if quick else 30_000,
+            create_weight=0.1,
+            delete_weight=0.3,
+            access_weight=6.0,
+            cluster_size=4,
+            object_size=128,
+        )
+    ]
+    events = list(
+        SyntheticWorkload(phases, seed=7, initial_clusters=4800).events()
+    )
+
+    def make_sim(collection: str, gc_workers: int, obs=None) -> Simulation:
+        return Simulation(
+            policy=FixedRatePolicy(20.0),
+            selection=RoundRobinSelection(),
+            config=SimulationConfig(
+                store=store, collection=collection, gc_workers=gc_workers
+            ),
+            obs=obs,
+        )
+
+    def run_mode(collection: str, gc_workers: int):
+        best_wall = float("inf")
+        best = None
+        for _ in range(max(1, repeats)):
+            sim = make_sim(collection, gc_workers)
+            target = sim._par if sim._par is not None else sim.collector
+            inner = target.collect
+            gc_wall = 0.0
+
+            def timed(pid):
+                nonlocal gc_wall
+                started = time.perf_counter()
+                result = inner(pid)
+                gc_wall += time.perf_counter() - started
+                return result
+
+            target.collect = timed
+            summary = sim.run(events).summary
+            if gc_wall < best_wall:
+                best_wall = gc_wall
+                best = (sim, summary)
+        sim, summary = best
+        payload = {
+            "collections": sim.collector.collections_performed,
+            "gc_wall_s": round(best_wall, 4),
+            "collections_per_s": round(
+                sim.collector.collections_performed / best_wall, 1
+            )
+            if best_wall > 0
+            else float("inf"),
+        }
+        if sim._par is not None:
+            payload.update(sim._par.stats())
+        return payload, summary
+
+    serial, serial_summary = run_mode("serial", 1)
+    parallel, parallel_summary = run_mode("parallel", workers)
+    if telemetry is not None:
+        from repro.obs.telemetry import RunTelemetry
+
+        tel = RunTelemetry(
+            Path(telemetry) / "bench_parallel_collection.jsonl",
+            kind="bench",
+            label="parallel_collection",
+            seed=7,
+        )
+        sim = make_sim("parallel", workers, obs=tel)
+        with tel.span("replay", events=len(events)):
+            sim.run(events)
+        tel.close()
+    return {
+        "events": len(events),
+        "gc_workers": workers,
+        "serial": serial,
+        "parallel": parallel,
+        "pause_speedup": round(
+            parallel["collections_per_s"] / serial["collections_per_s"], 2
+        )
+        if serial["collections_per_s"]
+        else float("inf"),
+        "summaries_match": pickle.dumps(serial_summary)
+        == pickle.dumps(parallel_summary),
+    }
+
+
 #: The standard suite, in execution order.
 SUITE = (
     ("figure1_cell", bench_figure1_cell),
     ("traverse_replay", bench_traverse_replay),
     ("batch_replay", bench_batch_replay),
     ("collection_throughput", bench_collection_throughput),
+    ("parallel_collection", bench_parallel_collection),
     ("trace_compile_load", bench_trace_compile_load),
     ("sweep_trace_cache", bench_sweep_trace_cache),
     ("multi_tenant_replay", bench_multi_tenant_replay),
@@ -728,6 +844,17 @@ def _format_report(doc: dict) -> str:
         f"({ct['speedup_vs_full']:g}x, "
         f"{ct['remembered']['traced_objects_per_collection']:,.0f} traced "
         f"objs/collection, summaries match: {ct['summaries_match']})"
+    )
+    pc = r["parallel_collection"]
+    lines.append(
+        f"  parallel_collection: parallel "
+        f"{pc['parallel']['collections_per_s']:,.0f} coll/s vs serial "
+        f"{pc['serial']['collections_per_s']:,.0f} coll/s "
+        f"({pc['pause_speedup']:g}x pause speedup at "
+        f"{pc['gc_workers']} workers, "
+        f"{pc['parallel']['speculation_hits']}/"
+        f"{pc['parallel']['collections']} speculation hits, "
+        f"summaries match: {pc['summaries_match']})"
     )
     tcl = r["trace_compile_load"]
     lines.append(

@@ -33,6 +33,9 @@ the result cache — CI uses it to prove that a repeated grid is free.
 from __future__ import annotations
 
 import argparse
+import csv
+import dataclasses
+import io
 import json
 import sys
 import time
@@ -40,7 +43,9 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.gc.learned import ModelError, model_spec, parse_model_spec
+from repro.gc.parallel import COLLECTION_MODES
 from repro.sim.engine import run_experiment_batch
+from repro.sim.metrics import SimulationSummary
 from repro.sim.report import format_percent, format_table
 from repro.sim.runner import AggregateResult
 from repro.sim.simulator import SimulationConfig
@@ -200,6 +205,8 @@ def _default_sim_config(
     buffer_pages: int = DEFAULT_BUFFER_PAGES,
     preamble: int = 0,
     replay: str = "auto",
+    collection: str = "serial",
+    gc_workers: int = 1,
 ) -> SimulationConfig:
     return SimulationConfig(
         store=StoreConfig(
@@ -209,6 +216,8 @@ def _default_sim_config(
         ),
         preamble_collections=preamble,
         replay=replay,
+        collection=collection,
+        gc_workers=gc_workers,
     )
 
 
@@ -240,6 +249,45 @@ def format_fleet_report(
     )
     seed_line = f"seeds: {' '.join(str(s) for s in seeds)}"
     return f"{table}\n{seed_line}"
+
+
+def format_summary_csv(
+    specs: Sequence[ExperimentSpec],
+    results: Sequence[AggregateResult],
+    seeds: Sequence[int],
+) -> str:
+    """Per-run outcome table: one CSV row per (cell, seed).
+
+    Every :class:`~repro.sim.metrics.SimulationSummary` field of every
+    successful run, keyed by cell label, policy and seed — the raw
+    time/space outcomes behind the aggregate report, ready for pandas /
+    gnuplot. The engine appends summaries in seed order and quarantines
+    failed runs into ``result.failures``, so zipping the surviving seeds
+    with the summaries is exact; rows are therefore **byte-identical at
+    any ``--jobs``**. Failed runs appear with an ``error`` column instead
+    of outcome fields.
+    """
+    fields = [f.name for f in dataclasses.fields(SimulationSummary)]
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(["cell", "policy", "seed", "error", *fields])
+    for spec, result in zip(specs, results):
+        failed = {failure.seed: failure for failure in result.failures}
+        survivors = iter(result.summaries)
+        for seed in seeds:
+            failure = failed.get(seed)
+            if failure is not None:
+                writer.writerow(
+                    [spec.label, _policy_label(spec.policy), seed,
+                     failure.error] + [""] * len(fields)
+                )
+                continue
+            summary = next(survivors)
+            writer.writerow(
+                [spec.label, _policy_label(spec.policy), seed, ""]
+                + [getattr(summary, name) for name in fields]
+            )
+    return out.getvalue()
 
 
 # ----------------------------------------------------------------------
@@ -364,6 +412,38 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--collection",
+        choices=COLLECTION_MODES,
+        default="serial",
+        help=(
+            "collection execution mode: serial (trace + reclaim in the "
+            "trigger window) or parallel (speculative pre-tracing by "
+            "--gc-workers, validated at apply) — both produce identical "
+            "reports; excluded from result-cache fingerprints"
+        ),
+    )
+    parser.add_argument(
+        "--gc-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "speculative trace width for --collection parallel "
+            "(default 1: inline pre-tracing); reports are byte-identical "
+            "at any value"
+        ),
+    )
+    parser.add_argument(
+        "--summary-csv",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "write one CSV row of time/space outcomes per (cell, seed) — "
+            "byte-identical at any --jobs"
+        ),
+    )
+    parser.add_argument(
         "--expect-all-cached",
         action="store_true",
         help=(
@@ -405,6 +485,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
 
     try:
+        if args.gc_workers < 1:
+            raise ValueError("--gc-workers must be >= 1")
+        if args.collection == "serial" and args.gc_workers != 1:
+            raise ValueError("--gc-workers requires --collection parallel")
         scenario = _resolve_scenario(args)
         policies = resolve_estimators(
             [parse_policy(text) for text in args.policies],
@@ -414,7 +498,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             scenario,
             policies,
             shard=args.shard,
-            sim=_default_sim_config(preamble=args.preamble, replay=args.replay),
+            sim=_default_sim_config(
+                preamble=args.preamble,
+                replay=args.replay,
+                collection=args.collection,
+                gc_workers=args.gc_workers,
+            ),
         )
     except (GrammarError, ModelError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -451,6 +540,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.out is not None:
         args.out.write_text(report + "\n")
         print(f"[written to {args.out}]", file=sys.stderr)
+    if args.summary_csv is not None:
+        args.summary_csv.write_text(
+            format_summary_csv(specs, results, args.seeds)
+        )
+        print(f"[per-run summaries in {args.summary_csv}]", file=sys.stderr)
     if args.telemetry is not None:
         print(
             f"[telemetry in {args.telemetry}; inspect with "
@@ -494,6 +588,7 @@ def run_demo(seeds: Optional[list[int]], engine_kwargs: dict) -> str:
 __all__ = [
     "build_grid",
     "format_fleet_report",
+    "format_summary_csv",
     "load_scenario",
     "main",
     "parse_policy",

@@ -9,6 +9,12 @@ from repro.gc.learned import (
     model_spec,
     train_model,
 )
+from repro.gc.parallel import (
+    COLLECTION_MODES,
+    DEFAULT_GC_MARGIN,
+    ParallelCollectionScheduler,
+    peek_selection,
+)
 from repro.gc.selection import (
     MostGarbageOracleSelection,
     PartitionSelectionPolicy,
@@ -19,12 +25,15 @@ from repro.gc.selection import (
 )
 
 __all__ = [
+    "COLLECTION_MODES",
+    "DEFAULT_GC_MARGIN",
     "CollectionResult",
     "CopyingCollector",
     "FeatureTracker",
     "LearnedEstimator",
     "LearnedModel",
     "MostGarbageOracleSelection",
+    "ParallelCollectionScheduler",
     "PartitionSelectionPolicy",
     "RandomSelection",
     "RoundRobinSelection",
@@ -32,5 +41,6 @@ __all__ = [
     "estimator_from_spec",
     "make_selection_policy",
     "model_spec",
+    "peek_selection",
     "train_model",
 ]

@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.gc.remembered import full_scan_frontier
-from repro.storage.heap import ObjectStore
+from repro.storage.buffer import PageId
+from repro.storage.heap import CompactionPlan, ObjectStore
 from repro.storage.iostats import IOCategory
 from repro.storage.object_model import ObjectId
 from repro.storage.partition import PartitionId
@@ -123,18 +124,47 @@ class CopyingCollector:
 
     def collect(self, pid: PartitionId) -> CollectionResult:
         """Collect partition ``pid`` and return the outcome."""
-        store = self._store
-        partition = store.partitions[pid]
-        po_before = partition.pointer_overwrites
-        overwrite_clock = store.pointer_overwrites
-        pages_before = partition.used_pages(store.config.page_size)
+        survivors, fixup_pages = self.prepare(pid)
+        return self.apply(pid, survivors, fixup_pages)
 
+    def prepare(self, pid: PartitionId) -> tuple[list[ObjectId], set[PageId]]:
+        """The read-only half of a collection: frontier + survivor trace.
+
+        Derives the partition's conservative roots and external fix-up
+        pages, then Cheney-traces the survivors. Mutates nothing and
+        charges no I/O, so it can run speculatively ahead of the trigger
+        (the parallel scheduler of :mod:`repro.gc.parallel` does exactly
+        that) — ``collect(pid)`` is always ``prepare`` + ``apply``.
+        """
+        store = self._store
         if self.reachability == "full":
             roots, fixup_pages = full_scan_frontier(store, pid)
         else:
             roots = store.partition_roots(pid)
             fixup_pages = store.external_source_pages(pid)
-        survivors = self._trace_survivors(pid, roots)
+        return self._trace_survivors(pid, roots), fixup_pages
+
+    def apply(
+        self,
+        pid: PartitionId,
+        survivors: list[ObjectId],
+        fixup_pages: set[PageId],
+        plan: "CompactionPlan | None" = None,
+    ) -> CollectionResult:
+        """The mutating half of a collection: reclaim, compact, charge I/O.
+
+        ``survivors``/``fixup_pages`` must describe the partition's *current*
+        state (either just computed by :meth:`prepare`, or a speculative
+        trace validated against the store's trace epochs). ``plan`` is an
+        optional precomputed :class:`~repro.storage.heap.CompactionPlan`
+        under the same validity contract — it shortens the pause but never
+        changes the outcome.
+        """
+        store = self._store
+        partition = store.partitions[pid]
+        po_before = partition.pointer_overwrites
+        overwrite_clock = store.pointer_overwrites
+        pages_before = partition.used_pages(store.config.page_size)
         self.traced_objects_total += len(survivors)
         self.heap_objects_total += len(store.objects)
 
@@ -148,7 +178,7 @@ class CopyingCollector:
 
         # 2. Compact: reclaim non-survivors and rewrite survivors contiguously.
         reclaimed_objects = len(partition.residents) - len(survivors)
-        reclaimed_bytes = store.compact_partition(pid, survivors)
+        reclaimed_bytes = store.compact_partition(pid, survivors, plan=plan)
         pages_after = partition.used_pages(store.config.page_size)
         store.iostats.record_write(IOCategory.COLLECTOR, pages_after)
 

@@ -363,9 +363,13 @@ class GcService:
     # ------------------------------------------------------------------
 
     def _forced_collect(self) -> bool:
+        # Backpressure hit the heap bound: fall back to stop-the-world.
+        # force=True bypasses the parallel scheduler's pump phase so the
+        # collection happens *now* (a valid speculative trace is still
+        # harvested, but admission never proceeds on a promise).
         store = self.sim.store
         before = store.db_size
-        self.sim._collect()
+        self.sim._collect(force=True)
         return store.db_size < before
 
     def _checkpoint_due(self) -> bool:

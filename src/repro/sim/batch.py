@@ -292,6 +292,11 @@ def _fast_eligible(sim) -> bool:
     return (
         sim.faults is None
         and sim.redo_log is None
+        # Parallel collection pumps speculative traces at the margin point
+        # and validates them against store.trace_epochs; fast mode inlines
+        # the mutation kernels that maintain those epochs, so parallel-mode
+        # runs replay guarded (the guarded path calls the real methods).
+        and sim._par is None
         and not sim.config.keep_event_series
         and sampler._series_countdown is None
         and not isinstance(sim.policy, OpportunisticPolicy)

@@ -18,6 +18,7 @@ volunteer extra collections.
 from __future__ import annotations
 
 import itertools
+import math
 import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Optional, Union
@@ -244,6 +245,20 @@ class SimulationConfig:
             result-identical (summaries pickle-equal, property-tested), so
             this field — like ``reachability`` — is excluded from experiment
             fingerprints.
+        collection: How triggered collections execute. ``"serial"``
+            (default) traces and reclaims inside the trigger window on the
+            replay thread; ``"parallel"`` pre-traces likely victims
+            speculatively while replay continues (the scheduler of
+            :mod:`repro.gc.parallel`), validates each speculative trace
+            against the store's trace epochs at the due point, and applies
+            reclamation in the exact serial order. Results are identical
+            in both modes at any worker count (pickle-equal summaries,
+            property-tested), so this field — and ``gc_workers`` — is
+            excluded from experiment fingerprints like ``reachability``
+            and ``replay``.
+        gc_workers: Fan-out width for ``collection="parallel"``: how many
+            candidate partitions are snapshotted per pump, and (when > 1)
+            how many tracing threads run them. Affects wall-clock only.
     """
 
     store: StoreConfig = field(default_factory=StoreConfig)
@@ -257,6 +272,8 @@ class SimulationConfig:
     enable_redo_log: bool = False
     reachability: str = "remembered"
     replay: str = "auto"
+    collection: str = "serial"
+    gc_workers: int = 1
 
 
 @dataclass
@@ -322,6 +339,23 @@ class Simulation:
         self.collector = CopyingCollector(
             self.store, reachability=self.config.reachability
         )
+        if self.config.collection not in ("serial", "parallel"):
+            raise ValueError(
+                f"collection must be 'serial' or 'parallel', "
+                f"got {self.config.collection!r}"
+            )
+        self._par = None
+        if self.config.collection == "parallel":
+            from repro.gc.parallel import ParallelCollectionScheduler
+
+            self._par = ParallelCollectionScheduler(
+                self.store,
+                self.collector,
+                self.selection,
+                workers=self.config.gc_workers,
+            )
+        elif self.config.gc_workers != 1:
+            raise ValueError("gc_workers requires collection='parallel'")
         self.sampler = Sampler(
             preamble_collections=self.config.preamble_collections,
             keep_event_series=self.config.keep_event_series,
@@ -351,6 +385,11 @@ class Simulation:
         self._trigger: Optional[Trigger] = None
         self._clock_read = self._clock_app_io
         self._due_at: float = float("inf")
+        # The true trigger deadline. In parallel-collection mode _due_at is
+        # pulled earlier to the margin point so the replay loops wake the
+        # scheduler to pump speculative traces; collections themselves still
+        # happen exactly when the clock reaches _real_due_at.
+        self._real_due_at: float = float("inf")
         self._event_index = -1
         self._event_applied = True
         self._tx_start_index: Optional[int] = None
@@ -549,9 +588,30 @@ class Simulation:
         # Rebinding the reader here keeps _clock() a single indirect call
         # per event instead of an enum comparison chain.
         self._clock_read = self._clock_reader(trigger.base)
-        self._due_at = self._clock_read() + trigger.interval
+        now = self._clock_read()
+        due = now + trigger.interval
+        self._real_due_at = due
+        par = self._par
+        if par is not None and par.margin > 0.0 and math.isfinite(due):
+            # Wake early at the margin point to pump speculative traces;
+            # the pump is read-only and the loops re-check against the
+            # real deadline, so collection timing is unchanged.
+            self._due_at = max(now, due - trigger.interval * par.margin)
+        else:
+            self._due_at = due
 
-    def _collect(self) -> None:
+    def _collect(self, force: bool = False) -> None:
+        par = self._par
+        if par is not None and not force and self._clock() < self._real_due_at:
+            # Margin window: the trigger has not fired yet. Snapshot and
+            # trace likely victims while replay continues, refreshing any
+            # snapshot the mutator invalidated, then wake again at the
+            # next clock tick (staleness at apply is thereby bounded by
+            # the final tick's mutations). Pumps are read-only, so the
+            # extra wake-ups can never change what the run computes.
+            par.pump()
+            self._due_at = min(self._real_due_at, self._clock() + 1.0)
+            return
         if self.collector.collections_performed >= self.config.max_collections:
             raise RuntimeError(
                 f"exceeded max_collections={self.config.max_collections}; "
@@ -570,7 +630,7 @@ class Simulation:
             self.faults.fire("gc.collect")
         obs = self.obs
         started = time.perf_counter() if obs is not None else 0.0
-        result = self.collector.collect(pid)
+        result = par.collect(pid) if par is not None else self.collector.collect(pid)
         self.store.iostats.mark_collection()
         ctx = PolicyContext(result=result, store=self.store, iostats=self.store.iostats)
         trigger = self.policy.next_trigger(ctx)
@@ -595,6 +655,8 @@ class Simulation:
                 else 0.0
             )
             obs.metrics.set_many(remembered, prefix="gc.remembered.")
+            if par is not None:
+                obs.metrics.set_many(par.stats(), prefix="gc.parallel.")
         self._schedule(trigger)
         if (
             self.config.validate_every
@@ -629,4 +691,6 @@ class Simulation:
             return
         for _tick in range(ticks):
             if self.policy.note_idle(self.store):
-                self._collect()
+                # Opportunistic collections happen now regardless of the
+                # trigger deadline — bypass the parallel pump phase.
+                self._collect(force=True)

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Any, Iterable, Optional, Sequence
 
 from repro.storage.buffer import (
     DEFAULT_BUFFER_PAGES,
@@ -33,14 +33,50 @@ from repro.storage.buffer import (
 )
 from repro.storage.iostats import IOCategory, IOStats
 from repro.storage.object_model import ObjectId, ObjectKind, StoredObject
-from repro.storage.objtable import PlacementTable
+from repro.storage.objtable import DENSE_CEILING, PlacementTable
 from repro.storage.partition import Partition, PartitionId, Placement
 from repro.storage.traversal import breadth_first_order
+
+try:  # optional fast path for applying precomputed compaction layouts
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
 
 #: Stale (zero-free) entries tolerated on the open-partition list before a
 #: prune pass rebuilds it; small enough that first-fit scans stay short,
 #: large enough that back-to-back partition fills don't each pay a rebuild.
 _OPEN_LIST_STALE_LIMIT = 16
+
+
+@dataclass
+class CompactionPlan:
+    """Precomputed pure derivations of one ``compact_partition`` call.
+
+    Everything :meth:`ObjectStore.compact_partition` derives read-only
+    from current state — the survivor set, the reclaimed list, and the
+    post-compaction layout (new offset per survivor) — captured so the
+    parallel scheduler's workers can compute it *outside* the collection
+    pause. A plan is only valid while the victim's trace epoch and the
+    global compaction epoch are unchanged (the scheduler validates both
+    before use); applying a validated plan is byte-identical to the
+    inline derivation because every input it froze is provably the same.
+    """
+
+    #: Survivors in copy order (must equal the ``survivors`` argument the
+    #: plan was built from).
+    survivors: list[ObjectId]
+    survivor_set: set[ObjectId]
+    #: Residents to reclaim, in the residents-set iteration order the
+    #: inline path would produce over the identical set state.
+    reclaimed: list[ObjectId]
+    #: Partition fill after relocation (sum of survivor sizes).
+    fill: int
+    #: Dense-column survivors and their new offsets (numpy int64 arrays
+    #: when numpy is present, plain lists otherwise).
+    dense_oids: Any
+    dense_offs: Any
+    #: Overflow-dict survivors: ``(oid, (pid, new_offset, size))``.
+    overflow: list[tuple[ObjectId, tuple[int, int, int]]]
 
 
 @dataclass(frozen=True)
@@ -157,6 +193,19 @@ class ObjectStore:
         #: distinct boundary sources) — kept in O(1) step by every mutator
         #: below, consumed by ``partition_roots`` / ``external_source_pages``.
         self.remembered = RememberedSetIndex()
+        #: Per-partition trace epochs: bumped by every mutation that could
+        #: change a partition's collection outcome — its resident set, its
+        #: residents' pointer slots, or its conservative frontier (roots,
+        #: allocation pins, remembered incoming references). The parallel
+        #: collection scheduler (:mod:`repro.gc.parallel`) validates
+        #: speculative traces against these counters: an unchanged epoch
+        #: proves a pre-computed survivor set is still exact.
+        self.trace_epochs: list[int] = []
+        #: Bumped once per partition compaction. Compaction relocates every
+        #: survivor, which moves the fix-up pages of *other* partitions whose
+        #: boundary sources live here — one global counter conservatively
+        #: invalidates every outstanding speculative trace.
+        self.compaction_epoch = 0
 
     # ------------------------------------------------------------------
     # Application operations
@@ -190,6 +239,7 @@ class ObjectStore:
         self.placements.put(oid, pid, offset, size)
         self.unlinked.add(oid)
         self.remembered.pin(pid, oid)
+        self.trace_epochs[pid] += 1
         self._touch_object_pages(oid, IOCategory.APPLICATION, dirty=True)
 
         if pointers:
@@ -239,6 +289,9 @@ class ObjectStore:
 
         old = src_obj.pointers.get(slot)
         src_obj.pointers[slot] = target
+        src_pid = self.placements.part_of(src)
+        if src_pid >= 0:
+            self.trace_epochs[src_pid] += 1
         self._touch_object_pages(src, IOCategory.APPLICATION, dirty=True)
 
         if old is not None:
@@ -261,8 +314,11 @@ class ObjectStore:
     def register_root(self, oid: ObjectId) -> None:
         """Add an object to the database's persistent root set."""
         self._require(oid)
+        pid = self.placements.part_of(oid)
         self.roots.add(oid)
-        self.remembered.add_root(self.placements.part_of(oid), oid)
+        self.remembered.add_root(pid, oid)
+        if pid >= 0:
+            self.trace_epochs[pid] += 1
         if oid in self.unlinked:
             self._unpin(oid)
 
@@ -318,6 +374,9 @@ class ObjectStore:
                 self._remember_edge(src, old_target)
         else:
             src_obj.pointers.pop(slot, None)
+        src_pid = self.placements.part_of(src)
+        if src_pid >= 0:
+            self.trace_epochs[src_pid] += 1
         self._touch_object_pages(src, IOCategory.APPLICATION, dirty=True)
 
     def resurrect(self, oid: ObjectId) -> None:
@@ -360,6 +419,7 @@ class ObjectStore:
         self.roots.discard(oid)
         self.unlinked.discard(oid)
         self.remembered.drop_object(placement.partition, oid)
+        self.trace_epochs[placement.partition] += 1
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -471,20 +531,89 @@ class ObjectStore:
             if part_of(target) == pid:
                 yield target
 
-    def compact_partition(self, pid: PartitionId, survivors: Sequence[ObjectId]) -> int:
-        """Rewrite partition ``pid`` to contain exactly ``survivors`` in order.
+    def plan_compaction(
+        self, pid: PartitionId, survivors: Sequence[ObjectId]
+    ) -> CompactionPlan:
+        """Precompute what :meth:`compact_partition` derives from state.
 
-        Every resident not in ``survivors`` is reclaimed. Returns the number
-        of bytes reclaimed. The caller (the collector) is responsible for
-        charging I/O and invalidating buffered pages.
+        Read-only — safe to run on a speculative-trace worker thread while
+        replay continues. The survivor layout reproduces the inline bump
+        loop exactly (prefix sums of sizes in copy order); the reclaimed
+        list iterates the residents set just as the inline path would, so
+        applying the plan against unchanged epochs leaves every structure
+        with an identical mutation history.
         """
         partition = self.partitions[pid]
         survivor_set = set(survivors)
         unknown = survivor_set - partition.residents
         if unknown:
-            raise StoreError(f"survivors {sorted(unknown)} are not residents of partition {pid}")
-
+            raise StoreError(
+                f"survivors {sorted(unknown)} are not residents of partition {pid}"
+            )
         reclaimed = [oid for oid in partition.residents if oid not in survivor_set]
+        objects = self.objects
+        dense_oids: list[int] = []
+        dense_offs: list[int] = []
+        overflow: list[tuple[ObjectId, tuple[int, int, int]]] = []
+        cursor = 0
+        for oid in survivors:
+            size = objects[oid].size
+            # Classification by DENSE_CEILING (not current column length)
+            # is stable: a resident survivor already has its placement in
+            # whichever representation its oid selects.
+            if 0 <= oid < DENSE_CEILING:
+                dense_oids.append(oid)
+                dense_offs.append(cursor)
+            else:
+                overflow.append((oid, (pid, cursor, size)))
+            cursor += size
+        if _np is not None:
+            dense_oids = _np.asarray(dense_oids, dtype=_np.int64)
+            dense_offs = _np.asarray(dense_offs, dtype=_np.int64)
+        return CompactionPlan(
+            survivors=list(survivors),
+            survivor_set=survivor_set,
+            reclaimed=reclaimed,
+            fill=cursor,
+            dense_oids=dense_oids,
+            dense_offs=dense_offs,
+            overflow=overflow,
+        )
+
+    def compact_partition(
+        self,
+        pid: PartitionId,
+        survivors: Sequence[ObjectId],
+        plan: Optional[CompactionPlan] = None,
+    ) -> int:
+        """Rewrite partition ``pid`` to contain exactly ``survivors`` in order.
+
+        Every resident not in ``survivors`` is reclaimed. Returns the number
+        of bytes reclaimed. The caller (the collector) is responsible for
+        charging I/O and invalidating buffered pages.
+
+        ``plan`` — a :class:`CompactionPlan` built by :meth:`plan_compaction`
+        from these exact survivors and *validated against unchanged trace
+        epochs* — skips the in-pause re-derivation of the survivor set,
+        reclaimed list and layout. Survivors keep their partition and size
+        columns through a compaction, so applying the plan reduces the
+        relocation loop to an offset scatter; the result is byte-identical
+        to the inline path.
+        """
+        partition = self.partitions[pid]
+        self.compaction_epoch += 1
+        self.trace_epochs[pid] += 1
+        if plan is None:
+            survivor_set = set(survivors)
+            unknown = survivor_set - partition.residents
+            if unknown:
+                raise StoreError(
+                    f"survivors {sorted(unknown)} are not residents of partition {pid}"
+                )
+            reclaimed = [oid for oid in partition.residents if oid not in survivor_set]
+        else:
+            survivors = plan.survivors
+            reclaimed = plan.reclaimed
         reclaimed_bytes = 0
         for oid in reclaimed:
             reclaimed_bytes += self._reclaim(oid, pid)
@@ -492,10 +621,29 @@ class ObjectStore:
         fill_before = partition.fill
         partition.reset_for_compaction()
         placements = self.placements
-        objects = self.objects
-        for oid in survivors:
-            size = objects[oid].size
-            placements.put(oid, pid, partition.bump(oid, size), size)
+        if plan is None:
+            objects = self.objects
+            for oid in survivors:
+                size = objects[oid].size
+                placements.put(oid, pid, partition.bump(oid, size), size)
+        else:
+            # Same residents insertion history as the bump loop (copy
+            # order), then the precomputed offsets in one scatter. Dense
+            # survivors' partition and size columns are already correct.
+            residents_add = partition.residents.add
+            for oid in survivors:
+                residents_add(oid)
+            partition.fill = plan.fill
+            if _np is not None and len(plan.dense_oids):
+                _np.frombuffer(placements.offs, dtype=_np.int64)[
+                    plan.dense_oids
+                ] = plan.dense_offs
+            else:
+                offs = placements.offs
+                for oid, off in zip(plan.dense_oids, plan.dense_offs):
+                    offs[oid] = off
+            for oid, entry in plan.overflow:
+                placements.overflow[oid] = entry
         # The allocated-bytes ledger shrinks by the whole recovered extent:
         # reclaimed objects plus any holes left by transaction rollbacks.
         self._allocated_bytes -= fill_before - partition.fill
@@ -611,6 +759,7 @@ class ObjectStore:
         self.partitions.append(partition)
         self._physical_bytes += capacity
         self._partition_free.append(capacity)
+        self.trace_epochs.append(0)
         self._open_partitions.append(partition.pid)
         self._open_set.add(partition.pid)
         return partition
@@ -653,8 +802,11 @@ class ObjectStore:
 
     def _unpin(self, oid: ObjectId) -> None:
         """Drop ``oid``'s allocation pin (it became referenced or a root)."""
+        pid = self.placements.part_of(oid)
         self.unlinked.discard(oid)
-        self.remembered.unpin(self.placements.part_of(oid), oid)
+        self.remembered.unpin(pid, oid)
+        if pid >= 0:
+            self.trace_epochs[pid] += 1
 
     def _remember_edge(self, src: ObjectId, target: ObjectId) -> None:
         src_pid = self.partition_of(src)
@@ -663,6 +815,7 @@ class ObjectStore:
             return
         self.partitions[tgt_pid].remember(src, target)
         self.remembered.remember_source(tgt_pid, src)
+        self.trace_epochs[tgt_pid] += 1
 
     def _forget_edge(self, src: ObjectId, target: ObjectId) -> None:
         tgt_pid = self.placements.part_of(target)
@@ -673,6 +826,7 @@ class ObjectStore:
             return
         if self.partitions[tgt_pid].forget(src, target):
             self.remembered.forget_source(tgt_pid, src)
+        self.trace_epochs[tgt_pid] += 1
 
     def _declare_dead(self, oid: ObjectId) -> None:
         obj = self.objects.get(oid)

@@ -221,3 +221,114 @@ def test_fleet_demo_experiment_runs(tmp_path, capsys):
     )
     assert code == 0
     assert "Fleet demo grid" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Per-run summary CSV and parallel collection flags
+# ----------------------------------------------------------------------
+
+
+def test_fleet_summary_csv_rows_per_cell_and_seed(tmp_path):
+    csv_path = tmp_path / "runs.csv"
+    code, _ = _run(
+        tmp_path,
+        "--seeds", "0", "1",
+        "--summary-csv", str(csv_path),
+    )
+    assert code == 0
+    lines = csv_path.read_text().splitlines()
+    header = lines[0].split(",")
+    assert header[:4] == ["cell", "policy", "seed", "error"]
+    assert "collections" in header and "total_reclaimed_bytes" in header
+    # 1 interleaved scenario × 2 default policies × 2 seeds.
+    assert len(lines) == 1 + 2 * 2
+    seeds = [line.split(",")[2] for line in lines[1:]]
+    assert seeds == ["0", "1", "0", "1"]
+    assert all(line.split(",")[3] == "" for line in lines[1:]), "no failures"
+
+
+def test_fleet_summary_csv_byte_identical_across_jobs(tmp_path):
+    csv1 = tmp_path / "jobs1.csv"
+    csv2 = tmp_path / "jobs2.csv"
+    code1, _ = _run(
+        tmp_path, "--jobs", "1", "--summary-csv", str(csv1),
+        out_name="jobs1.txt",
+    )
+    code2, _ = _run(
+        tmp_path, "--jobs", "2", "--no-cache", "--summary-csv", str(csv2),
+        out_name="jobs2.txt",
+    )
+    assert code1 == code2 == 0
+    assert csv1.read_bytes() == csv2.read_bytes()
+
+
+def test_fleet_parallel_collection_report_identical(tmp_path):
+    """--collection parallel is an execution detail: same report bytes at
+    any worker count, and the serial cells' cache entries answer it."""
+    serial_out = tmp_path / "serial.txt"
+    code = fleet_main(
+        [*_BASE, "--cache-dir", str(tmp_path / "cache"),
+         "--out", str(serial_out)]
+    )
+    assert code == 0
+    parallel_out = tmp_path / "parallel.txt"
+    code = fleet_main(
+        [*_BASE, "--cache-dir", str(tmp_path / "cache"),
+         "--out", str(parallel_out),
+         "--collection", "parallel", "--gc-workers", "4",
+         "--expect-all-cached"]
+    )
+    assert code == 0, "parallel cells must share the serial fingerprints"
+    assert parallel_out.read_bytes() == serial_out.read_bytes()
+
+
+def test_fleet_parallel_collection_uncached_matches_serial(tmp_path):
+    """Without a cache the parallel cells actually simulate — the report
+    must still match the serial run byte for byte."""
+    serial_out = tmp_path / "serial.txt"
+    code = fleet_main([*_BASE, "--no-cache", "--out", str(serial_out)])
+    assert code == 0
+    parallel_out = tmp_path / "parallel.txt"
+    code = fleet_main(
+        [*_BASE, "--no-cache", "--out", str(parallel_out),
+         "--collection", "parallel", "--gc-workers", "4"]
+    )
+    assert code == 0
+    assert parallel_out.read_bytes() == serial_out.read_bytes()
+
+
+def test_fleet_gc_workers_validation():
+    assert fleet_main([*_BASE, "--gc-workers", "0"]) == 2
+    assert fleet_main([*_BASE, "--gc-workers", "4"]) == 2  # serial + workers
+
+
+def test_format_summary_csv_quarantined_seed_gets_error_row():
+    from repro.fleet import build_grid, format_summary_csv
+    from repro.sim.metrics import SimulationSummary
+    from repro.sim.runner import AggregateResult, RunFailure
+
+    specs = build_grid(
+        tenant_mix(["oltp-churn"], scale=0.2), [parse_policy("fixed:20")]
+    )
+    summary = SimulationSummary(
+        events=10, collections=2, preamble_collections=0,
+        garbage_fraction_mean=0.1, garbage_fraction_min=0.0,
+        garbage_fraction_max=0.2, gc_io_fraction=0.3,
+        gc_io_fraction_total=0.3, app_io_total=100, gc_io_total=40,
+        total_reclaimed_bytes=500, total_garbage_generated=600,
+        pointer_overwrites=50, final_garbage_fraction=0.05,
+        final_db_size=4000, final_partitions=2, significant=True,
+    )
+    results = [
+        AggregateResult(
+            summaries=[summary],
+            failures=[RunFailure(specs[0].label, seed=0, error="Boom()",
+                                 attempts=1)],
+        )
+    ]
+    lines = format_summary_csv(specs, results, seeds=[0, 1]).splitlines()
+    assert len(lines) == 3
+    failed, ok = lines[1].split(","), lines[2].split(",")
+    assert failed[2] == "0" and failed[3] == "Boom()"
+    assert all(cell == "" for cell in failed[4:])
+    assert ok[2] == "1" and ok[3] == "" and "500" in ok

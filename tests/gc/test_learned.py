@@ -249,3 +249,104 @@ def test_learned_machinery_does_not_perturb_other_fingerprints(tmp_path):
     path = model.save(tmp_path / "m.json")
     make_estimator(model_spec(path))
     assert spec_fingerprint(_saga_spec("fgs-hb"), seed=0) == before
+
+
+# ------------------------------------------------------------- online updates
+
+
+def _model(seed=0):
+    model, _report = train_model(_simple_rows(), seed=seed)
+    return model
+
+
+def _store_with_garbage():
+    from repro.storage.heap import ObjectStore
+
+    store = ObjectStore(StoreConfig(page_size=2048, partition_pages=4,
+                                    buffer_pages=4))
+    root = store.create(size=64)
+    store.register_root(root)
+    for _ in range(8):
+        obj = store.create(size=300)
+        store.write_pointer(root, "x", obj)
+        store.write_pointer(root, "x", None, dies=[obj])
+    return store
+
+
+def _result(n, reclaimed=900, clock=40):
+    from repro.gc.collector import CollectionResult
+
+    return CollectionResult(
+        collection_number=n, partition=0, reclaimed_bytes=reclaimed,
+        reclaimed_objects=3, live_bytes=600, live_objects=2, gc_reads=4,
+        gc_writes=2, pointer_overwrites_at_selection=10,
+        overwrite_clock=clock,
+    )
+
+
+def test_online_rate_zero_never_touches_weights():
+    store = _store_with_garbage()
+    estimator = LearnedEstimator(_model(), online_rate=0.0)
+    frozen = estimator.weights
+    for n in range(4):
+        estimator.observe_collection(_result(n, clock=40 * (n + 1)), store)
+    assert estimator.weights == frozen == list(estimator.model.weights)
+
+
+def test_online_rate_fine_tunes_after_second_observation():
+    """The first observation only seeds the feature vector; the SGD step
+    needs a (previous features, fresh label) pair."""
+    store = _store_with_garbage()
+    estimator = LearnedEstimator(_model(), online_rate=0.05)
+    initial = estimator.weights
+    estimator.observe_collection(_result(0, clock=40), store)
+    assert estimator.weights == initial, "no previous features yet"
+    estimator.observe_collection(_result(1, clock=80), store)
+    assert estimator.weights != initial
+    assert list(estimator.model.weights) == initial, (
+        "online tuning must not write back into the artifact's weights"
+    )
+
+
+def test_online_updates_are_deterministic():
+    def tuned_weights():
+        store = _store_with_garbage()
+        estimator = LearnedEstimator(_model(), online_rate=0.1)
+        for n in range(5):
+            estimator.observe_collection(
+                _result(n, reclaimed=700 + 50 * n, clock=40 * (n + 1)), store
+            )
+        return estimator.weights
+
+    assert tuned_weights() == tuned_weights()
+
+
+def test_online_update_moves_prediction_toward_observed_target():
+    store = _store_with_garbage()
+    estimator = LearnedEstimator(_model(), online_rate=0.05)
+    estimator.observe_collection(_result(0, clock=40), store)
+    features = estimator._features
+    db = max(store.db_size, 1)
+    result = _result(1, clock=80)
+    observed = min(
+        max(result.reclaimed_bytes * store.partition_count / db, 0.0), 1.0
+    )
+    before = sum(w * x for w, x in zip(estimator.weights, features))
+    estimator.observe_collection(result, store)
+    after = sum(w * x for w, x in zip(estimator.weights, features))
+    assert abs(after - observed) < abs(before - observed) or before == after
+
+
+def test_estimate_stays_clipped_under_aggressive_online_rate():
+    store = _store_with_garbage()
+    estimator = LearnedEstimator(_model(), online_rate=5.0)
+    assert estimator.estimate(store) == 0.0, "nothing observed yet"
+    for n in range(6):
+        estimator.observe_collection(_result(n, clock=40 * (n + 1)), store)
+        assert 0.0 <= estimator.estimate(store) <= store.db_size
+
+
+def test_describe_names_the_online_rate():
+    assert LearnedEstimator(_model()).describe().startswith("learned@")
+    described = LearnedEstimator(_model(), online_rate=0.25).describe()
+    assert described.endswith("+online(0.25)")
